@@ -1,0 +1,207 @@
+// Command experiments regenerates every table and figure of the GreenGPU
+// evaluation on the simulated testbed, printing text tables and optionally
+// writing CSV files.
+//
+// Usage:
+//
+//	experiments                     # run everything
+//	experiments -run fig6           # one experiment
+//	experiments -out results        # also write results/<id>*.csv
+//
+// Experiment ids: fig1, fig2, fig5, fig6, fig7, fig8, table2, sweep,
+// ablations, extensions, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"greengpu/internal/experiments"
+	"greengpu/internal/trace"
+)
+
+func main() {
+	var (
+		run      = flag.String("run", "all", "experiment id (fig1 fig2 fig5 fig6 fig7 fig8 table2 sweep ablations extensions all)")
+		out      = flag.String("out", "", "directory for CSV output (empty = none)")
+		markdown = flag.Bool("markdown", false, "render tables as GitHub markdown instead of aligned text")
+	)
+	flag.Parse()
+
+	env, err := experiments.NewEnv()
+	if err != nil {
+		fatal(err)
+	}
+	r := &runner{env: env, outDir: *out, markdown: *markdown}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	ids := strings.Split(*run, ",")
+	if *run == "all" {
+		ids = []string{"table2", "fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "sweep", "ablations", "extensions"}
+	}
+	for _, id := range ids {
+		if err := r.runOne(strings.TrimSpace(id)); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+type runner struct {
+	env      *experiments.Env
+	outDir   string
+	markdown bool
+}
+
+func (r *runner) emit(id string, tables ...*trace.Table) error {
+	for i, t := range tables {
+		render := t.WriteText
+		if r.markdown {
+			render = t.WriteMarkdown
+		}
+		if err := render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		if r.outDir != "" {
+			name := id
+			if len(tables) > 1 {
+				name = fmt.Sprintf("%s_%d", id, i+1)
+			}
+			f, err := os.Create(filepath.Join(r.outDir, name+".csv"))
+			if err != nil {
+				return err
+			}
+			if err := t.WriteCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (r *runner) runOne(id string) error {
+	switch id {
+	case "fig1":
+		res, err := r.env.Fig1()
+		if err != nil {
+			return err
+		}
+		return r.emit(id, res.Table())
+	case "fig2":
+		res, err := r.env.Fig2()
+		if err != nil {
+			return err
+		}
+		return r.emit(id, res.Table())
+	case "fig5":
+		res, err := r.env.Fig5()
+		if err != nil {
+			return err
+		}
+		if err := r.emit(id, res.Table(), res.PowerTable()); err != nil {
+			return err
+		}
+		fmt.Println(res.Sparklines())
+		return nil
+	case "fig6":
+		res, err := r.env.Fig6()
+		if err != nil {
+			return err
+		}
+		return r.emit(id, res.Table())
+	case "fig7":
+		var tables []*trace.Table
+		for _, name := range []string{"kmeans", "hotspot"} {
+			res, err := r.env.Fig7(name)
+			if err != nil {
+				return err
+			}
+			tables = append(tables, res.Table())
+		}
+		return r.emit(id, tables...)
+	case "fig8":
+		var tables []*trace.Table
+		for _, name := range []string{"hotspot", "kmeans"} {
+			res, err := r.env.Fig8(name)
+			if err != nil {
+				return err
+			}
+			tables = append(tables, res.Table())
+		}
+		return r.emit(id, tables...)
+	case "table2":
+		res, err := r.env.Table2()
+		if err != nil {
+			return err
+		}
+		return r.emit(id, res.Table())
+	case "sweep":
+		res, err := r.env.StaticSweep("kmeans", "hotspot")
+		if err != nil {
+			return err
+		}
+		return r.emit(id, res.Table())
+	case "ablations":
+		tables, err := r.env.AblationTables("kmeans")
+		if err != nil {
+			return err
+		}
+		return r.emit(id, tables...)
+	case "extensions":
+		var tables []*trace.Table
+		drows, err := r.env.DividerComparison("kmeans", "hotspot")
+		if err != nil {
+			return err
+		}
+		tables = append(tables, experiments.DividerComparisonTable(drows))
+		arows, err := r.env.AsyncValidation("kmeans", "lud", "PF")
+		if err != nil {
+			return err
+		}
+		tables = append(tables, experiments.AsyncValidationTable(arows))
+		frows, err := r.env.ActuatorFaults("kmeans")
+		if err != nil {
+			return err
+		}
+		tables = append(tables, experiments.ActuatorFaultsTable("kmeans", frows))
+		prows, err := r.env.Portability()
+		if err != nil {
+			return err
+		}
+		tables = append(tables, experiments.PortabilityTable(prows))
+		xrows, err := r.env.Fixed8Comparison()
+		if err != nil {
+			return err
+		}
+		tables = append(tables, experiments.Fixed8ComparisonTable(xrows))
+		crows, err := r.env.CPUCapability("kmeans", "hotspot")
+		if err != nil {
+			return err
+		}
+		tables = append(tables, experiments.CPUCapabilityTable(crows))
+		srows, err := r.env.SMComparison()
+		if err != nil {
+			return err
+		}
+		tables = append(tables, experiments.SMComparisonTable(srows))
+		return r.emit(id, tables...)
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Command workloads prints the evaluation workload set: the Table II
+// characterization measured on the simulated device, plus the calibrated
+// per-unit demands behind each profile.
+//
+// Usage:
+//
+//	workloads            # Table II characterization
+//	workloads -detail    # include per-phase calibrated demands
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"greengpu/internal/experiments"
+	"greengpu/internal/trace"
+)
+
+func main() {
+	detail := flag.Bool("detail", false, "print calibrated per-phase demands")
+	flag.Parse()
+
+	env, err := experiments.NewEnv()
+	if err != nil {
+		fatal(err)
+	}
+	res, err := env.Table2()
+	if err != nil {
+		fatal(err)
+	}
+	if err := res.Table().WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
+
+	if !*detail {
+		return
+	}
+	fmt.Println()
+	t := trace.NewTable("Calibrated per-unit demands (1 unit = 1% of an iteration)",
+		"workload", "phase", "fraction", "ops/unit", "bytes/unit", "latency floor (ms)", "cpu ops/unit")
+	for _, p := range env.Profiles {
+		for _, ph := range p.Phases {
+			t.AddRow(p.Name, ph.Label,
+				fmt.Sprintf("%.2f", ph.Fraction),
+				fmt.Sprintf("%.3g", ph.OpsPerUnit),
+				fmt.Sprintf("%.3g", ph.BytesPerUnit),
+				fmt.Sprintf("%.1f", ph.StallPerUnit*1e3),
+				fmt.Sprintf("%.3g", p.CPUOpsPerUnit))
+		}
+	}
+	if err := t.WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
+
+	fmt.Println()
+	t2 := trace.NewTable("Division-related parameters",
+		"workload", "iterations", "cpu slowdown", "balanced cpu share", "transfer MB/iter", "repartition MB")
+	for _, p := range env.Profiles {
+		spec := p.Spec()
+		balance := 1 / (1 + spec.CPUSlowdown)
+		t2.AddRow(p.Name,
+			fmt.Sprintf("%d", p.Iterations),
+			fmt.Sprintf("%.1f", spec.CPUSlowdown),
+			fmt.Sprintf("%.0f%%", balance*100),
+			fmt.Sprintf("%.0f", spec.TransferMB),
+			fmt.Sprintf("%.0f", spec.RepartitionMB))
+	}
+	if err := t2.WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "workloads:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+package greengpu_test
+
+import (
+	"fmt"
+	"log"
+
+	"greengpu"
+)
+
+// ExampleRun demonstrates the README quick start: the holistic framework
+// on kmeans, on a fresh simulated testbed. The simulation is
+// deterministic, so the converged division ratio is exact.
+func ExampleRun() {
+	profiles, err := greengpu.Rodinia()
+	if err != nil {
+		log.Fatal(err)
+	}
+	kmeans, err := greengpu.Profile(profiles, "kmeans")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := greengpu.Run(greengpu.NewTestbed(), kmeans,
+		greengpu.DefaultConfig(greengpu.Holistic))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("division converged to %.0f/%.0f (CPU/GPU)\n",
+		res.FinalRatio*100, (1-res.FinalRatio)*100)
+	fmt.Printf("iterations: %d\n", len(res.Iterations))
+	// Output:
+	// division converged to 20/80 (CPU/GPU)
+	// iterations: 20
+}
+
+// ExampleRodinia lists the evaluation workload set.
+func ExampleRodinia() {
+	profiles, err := greengpu.Rodinia()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range profiles {
+		fmt.Println(p.Name)
+	}
+	// Output:
+	// PF
+	// QG
+	// bfs
+	// hotspot
+	// kmeans
+	// lud
+	// nbody
+	// srad_v2
+	// streamcluster
+}
+
+// ExampleDefaultConfig shows the paper's published tuning constants.
+func ExampleDefaultConfig() {
+	cfg := greengpu.DefaultConfig(greengpu.Holistic)
+	fmt.Printf("DVFS interval: %v\n", cfg.DVFSInterval)
+	fmt.Printf("WMA: alpha_c=%.2f alpha_m=%.2f phi=%.2f beta=%.2f\n",
+		cfg.GPUScaler.AlphaCore, cfg.GPUScaler.AlphaMem,
+		cfg.GPUScaler.Phi, cfg.GPUScaler.Beta)
+	fmt.Printf("division: step=%.0f%% initial=%.0f%% safeguard=%v\n",
+		cfg.Division.Step*100, cfg.Division.Initial*100, cfg.Division.Safeguard)
+	// Output:
+	// DVFS interval: 3s
+	// WMA: alpha_c=0.15 alpha_m=0.02 phi=0.30 beta=0.20
+	// division: step=5% initial=30% safeguard=true
+}

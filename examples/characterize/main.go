@@ -1,0 +1,67 @@
+// Characterize: profile a real kernel, then explore it in simulation.
+//
+// The workflow a GreenGPU adopter wants: measure your own divisible
+// computation once on real worker pools, derive a simulated-workload
+// characterization from the measurement, and then explore energy-
+// management policies on the simulated testbed — where a policy sweep
+// costs milliseconds instead of re-running the real computation.
+//
+//	go run ./examples/characterize
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"greengpu/internal/bridge"
+	"greengpu/internal/core"
+	"greengpu/internal/hetero"
+	"greengpu/internal/kernels"
+	"greengpu/internal/testbed"
+	"greengpu/internal/workload"
+)
+
+func main() {
+	// 1. The real computation: an SRAD diffusion over a speckled image,
+	// and two pools with a stable 3:1 speed asymmetry.
+	mk := func() kernels.Kernel { return kernels.NewSRAD(64, 64, 40, 21) }
+	cpu := &hetero.Pool{Name: "cpu", Workers: 2, ItemDelay: 300 * time.Microsecond}
+	acc := &hetero.Pool{Name: "acc", Workers: 4, ItemDelay: 100 * time.Microsecond}
+
+	// 2. Measure it.
+	m, err := bridge.Characterize(mk, cpu, acc, bridge.Options{
+		CoreUtil: 0.80, MemUtil: 0.50, // srad's Table II class
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measured: acc %.1fms/iter, cpu %.1fms/iter -> slowdown %.2fx (balance at %.0f%% CPU)\n",
+		ms(m.AccIteration), ms(m.CPUIteration), m.Slowdown, 100/(1+m.Slowdown))
+
+	// 3. Calibrate the derived spec against the simulated testbed.
+	profile, err := workload.Calibrate(m.Spec, testbed.GeForce8800GTX(), testbed.PhenomIIX2())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Explore policies in simulation.
+	fmt.Println("\nsimulated policy exploration:")
+	for _, mode := range []core.Mode{core.Baseline, core.FreqScaling, core.Division, core.Holistic} {
+		res, err := core.Run(testbed.New(), profile, core.DefaultConfig(mode))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-18v %7.1f kJ in %6.1f s  (cpu share ends at %.0f%%)\n",
+			mode, res.Energy.Joules()/1e3, res.TotalTime.Seconds(), res.FinalRatio*100)
+	}
+
+	// 5. Sanity-check the simulation against reality: the real executor's
+	// division must converge where the simulation said it would.
+	x := hetero.New(mk(), cpu, acc, hetero.Config{})
+	rep := x.Run()
+	fmt.Printf("\nreal executor converged to %.0f%% CPU (simulation predicted ~%.0f%%)\n",
+		rep.FinalRatio*100, 100/(1+m.Slowdown))
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }

@@ -1,0 +1,62 @@
+// Quickstart: run the GreenGPU framework on the simulated testbed.
+//
+// This example assembles the paper's machine (GeForce 8800 GTX-class GPU,
+// dual-core Phenom II-class CPU, two wall-power meters), calibrates the
+// kmeans workload, and compares the Rodinia default configuration (all
+// work on the GPU at peak clocks) against the full holistic framework —
+// dynamic CPU/GPU workload division plus coordinated GPU core/memory
+// frequency scaling.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"greengpu/internal/core"
+	"greengpu/internal/testbed"
+	"greengpu/internal/workload"
+)
+
+func main() {
+	// 1. Calibrate the evaluation workloads against the testbed devices.
+	profiles, err := workload.Rodinia(testbed.GeForce8800GTX(), testbed.PhenomIIX2())
+	if err != nil {
+		log.Fatal(err)
+	}
+	kmeans, err := workload.ByName(profiles, "kmeans")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Baseline: the Rodinia default — everything on the GPU, every
+	// clock pinned at its peak.
+	base, err := core.Run(testbed.New(), kmeans, core.DefaultConfig(core.Baseline))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. GreenGPU: both tiers on. Tier 1 rebalances each iteration's
+	// work between CPU and GPU; tier 2 scales the GPU core and memory
+	// clocks from their utilizations (and the CPU via ondemand).
+	cfg := core.DefaultConfig(core.Holistic)
+	cfg.OnIteration = func(it core.IterationStats) {
+		fmt.Printf("iteration %2d: cpu share %3.0f%%  tc %6.1fs  tg %6.1fs  energy %6.2f kJ\n",
+			it.Index+1, it.R*100, it.TC.Seconds(), it.TG.Seconds(), it.Energy.Joules()/1e3)
+	}
+	green, err := core.Run(testbed.New(), kmeans, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Report.
+	fmt.Println()
+	fmt.Printf("baseline:  %7.1f kJ in %6.1f s (avg %5.1f W)\n",
+		base.Energy.Joules()/1e3, base.TotalTime.Seconds(), base.AveragePower().Watts())
+	fmt.Printf("greengpu:  %7.1f kJ in %6.1f s (avg %5.1f W)\n",
+		green.Energy.Joules()/1e3, green.TotalTime.Seconds(), green.AveragePower().Watts())
+	saving := 1 - float64(green.Energy)/float64(base.Energy)
+	fmt.Printf("\nGreenGPU saved %.1f%% energy; division converged to %.0f/%.0f (CPU/GPU).\n",
+		saving*100, green.FinalRatio*100, (1-green.FinalRatio)*100)
+}

@@ -1,0 +1,3 @@
+module greengpu
+
+go 1.22

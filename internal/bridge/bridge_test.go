@@ -1,0 +1,151 @@
+package bridge
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"greengpu/internal/core"
+	"greengpu/internal/hetero"
+	"greengpu/internal/kernels"
+	"greengpu/internal/testbed"
+	"greengpu/internal/workload"
+)
+
+// pools with a delay-dominated 4:1 speed asymmetry, stable across machines.
+func testPools() (cpu, acc *hetero.Pool) {
+	return &hetero.Pool{Name: "cpu", Workers: 1, ItemDelay: 800 * time.Microsecond},
+		&hetero.Pool{Name: "acc", Workers: 1, ItemDelay: 200 * time.Microsecond}
+}
+
+func hotspotFactory() func() kernels.Kernel {
+	return func() kernels.Kernel { return kernels.NewHotspot(48, 48, 50, 7) }
+}
+
+func TestCharacterizeMeasuresSlowdown(t *testing.T) {
+	cpu, acc := testPools()
+	m, err := Characterize(hotspotFactory(), cpu, acc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delay-dominated pools: slowdown must be close to the 4:1 ratio.
+	if m.Slowdown < 2.5 || m.Slowdown > 5.5 {
+		t.Errorf("measured slowdown %.2f, want ~4", m.Slowdown)
+	}
+	if m.AccIteration <= 0 || m.CPUIteration <= 0 {
+		t.Error("degenerate iteration times")
+	}
+	if err := m.Spec.Validate(); err != nil {
+		t.Errorf("derived spec invalid: %v", err)
+	}
+	if m.Spec.Name != "hotspot" {
+		t.Errorf("spec name = %q", m.Spec.Name)
+	}
+}
+
+func TestCharacterizedSpecRunsOnTestbed(t *testing.T) {
+	// The end-to-end loop: measure a real kernel, calibrate the derived
+	// spec against the simulated testbed, run the division tier there,
+	// and check the simulated convergence matches the real balance point
+	// 1/(1+S).
+	cpu, acc := testPools()
+	m, err := Characterize(hotspotFactory(), cpu, acc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, err := workload.Calibrate(m.Spec, testbed.GeForce8800GTX(), testbed.PhenomIIX2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig(core.Division)
+	cfg.Iterations = 15
+	res, err := core.Run(testbed.New(), profile, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBalance := 1 / (1 + m.Slowdown)
+	if math.Abs(res.FinalRatio-wantBalance) > 0.08 {
+		t.Errorf("simulated division converged to %.2f, measured balance point %.2f", res.FinalRatio, wantBalance)
+	}
+
+	// And the REAL executor must converge near the same point.
+	x := hetero.New(hotspotFactory()(), cpu, acc, hetero.Config{})
+	rep := x.Run()
+	if math.Abs(rep.FinalRatio-res.FinalRatio) > 0.11 {
+		t.Errorf("real executor converged to %.2f, simulation to %.2f — planes diverge", rep.FinalRatio, res.FinalRatio)
+	}
+}
+
+func TestCharacterizeDefaults(t *testing.T) {
+	cpu, acc := testPools()
+	m, err := Characterize(hotspotFactory(), cpu, acc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Spec
+	if s.Iterations != 10 || s.TransferMB != 100 || s.RepartitionMB != 100 {
+		t.Errorf("defaults not applied: %+v", s)
+	}
+	ph := s.Phases[0]
+	if ph.CoreUtil != 0.60 || ph.MemUtil != 0.35 {
+		t.Errorf("default utilizations = (%v, %v)", ph.CoreUtil, ph.MemUtil)
+	}
+	// TimeScale 1000: simulated iteration lasts ~1000x the measured one.
+	wantSec := m.AccIteration.Seconds() * 1000
+	if math.Abs(s.IterationSeconds-wantSec) > 1e-9 {
+		t.Errorf("IterationSeconds = %v, want %v", s.IterationSeconds, wantSec)
+	}
+}
+
+func TestCharacterizeCustomOptions(t *testing.T) {
+	cpu, acc := testPools()
+	m, err := Characterize(hotspotFactory(), cpu, acc, Options{
+		Name:              "my-stencil",
+		CoreUtil:          0.8,
+		MemUtil:           0.5,
+		SpecIterations:    7,
+		MeasureIterations: 2,
+		TimeScale:         500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Spec.Name != "my-stencil" || m.Spec.Iterations != 7 {
+		t.Errorf("options not applied: %+v", m.Spec)
+	}
+	if m.Spec.Phases[0].CoreUtil != 0.8 {
+		t.Errorf("utilization target not applied")
+	}
+}
+
+func TestCharacterizeErrors(t *testing.T) {
+	cpu, acc := testPools()
+	if _, err := Characterize(nil, cpu, acc, Options{}); err == nil {
+		t.Error("nil factory accepted")
+	}
+	if _, err := Characterize(hotspotFactory(), nil, acc, Options{}); err == nil {
+		t.Error("nil pool accepted")
+	}
+	if _, err := Characterize(func() kernels.Kernel { return nil }, cpu, acc, Options{}); err == nil {
+		t.Error("nil kernel accepted")
+	}
+	bad := &hetero.Pool{Name: "bad", Workers: 0}
+	if _, err := Characterize(hotspotFactory(), bad, acc, Options{}); err == nil {
+		t.Error("invalid pool accepted")
+	}
+}
+
+func TestCharacterizeInfeasibleUtilization(t *testing.T) {
+	cpu, acc := testPools()
+	_, err := Characterize(hotspotFactory(), cpu, acc, Options{
+		CoreUtil: 0.99, MemUtil: 0.98, // max + γ·min > 1 downstream
+	})
+	if err != nil {
+		t.Fatal(err) // the spec itself is valid; calibration rejects it
+	}
+	// Calibration against the default device must reject it.
+	m, _ := Characterize(hotspotFactory(), cpu, acc, Options{CoreUtil: 0.99, MemUtil: 0.98})
+	if _, err := workload.Calibrate(m.Spec, testbed.GeForce8800GTX(), testbed.PhenomIIX2()); err == nil {
+		t.Error("infeasible utilization calibrated")
+	}
+}

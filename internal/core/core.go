@@ -1,0 +1,553 @@
+// Package core implements the GreenGPU framework itself — the paper's
+// primary contribution (§IV, §V): a holistic, two-tier energy-management
+// loop for GPU-CPU heterogeneous systems.
+//
+// Tier 1 (workload division) runs once per iteration: it splits each
+// iteration's work between the CPU and the GPU so both sides finish at
+// about the same time, minimizing the energy one side wastes idling (or
+// spin-waiting) for the other.
+//
+// Tier 2 (frequency scaling) runs on a much shorter period: the coordinated
+// WMA scaler assigns GPU core and memory frequency levels from their
+// measured utilizations, and a CPU governor (Linux ondemand by default)
+// drives the processor P-state. The division period is kept much longer
+// than the scaling period (the paper uses ≥ 40×) so the WMA loop converges
+// within one division interval and the two tiers do not interfere.
+//
+// The framework runs a workload.Profile on a testbed.Machine under one of
+// four modes mirroring the paper's evaluation configurations:
+//
+//	Baseline     all work on the GPU, every clock at its peak — the
+//	             Rodinia default configuration (§VII-C).
+//	FreqScaling  all work on the GPU, tier 2 active, tier 1 off (§VII-A).
+//	Division     tier 1 active, all clocks pinned at peak (§VII-B).
+//	Holistic     both tiers active — GreenGPU proper (§VII-C).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"greengpu/internal/cpusim"
+	"greengpu/internal/division"
+	"greengpu/internal/dvfs"
+	"greengpu/internal/governor"
+	"greengpu/internal/sim"
+	"greengpu/internal/testbed"
+	"greengpu/internal/units"
+	"greengpu/internal/workload"
+)
+
+// Mode selects which tiers are active.
+type Mode int
+
+// Framework modes.
+const (
+	Baseline Mode = iota
+	FreqScaling
+	Division
+	Holistic
+)
+
+// String returns the mode's name as used in the paper's figures.
+func (m Mode) String() string {
+	switch m {
+	case Baseline:
+		return "baseline"
+	case FreqScaling:
+		return "frequency-scaling"
+	case Division:
+		return "division"
+	case Holistic:
+		return "greengpu"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// divides reports whether tier 1 is active in this mode.
+func (m Mode) divides() bool { return m == Division || m == Holistic }
+
+// scales reports whether tier 2 is active in this mode.
+func (m Mode) scales() bool { return m == FreqScaling || m == Holistic }
+
+// Config parameterizes a framework run.
+type Config struct {
+	Mode Mode
+
+	// DVFSInterval is tier 2's period. The paper uses 3 s.
+	DVFSInterval time.Duration
+	// GPUScaler holds the WMA constants (defaults: the paper's).
+	GPUScaler dvfs.Params
+	// Fixed8Scaler runs tier 2 on the 8-bit fixed-point weight table of
+	// the paper's §VI on-chip implementation sketch instead of float64.
+	Fixed8Scaler bool
+	// SMScaling additionally power-gates stream multiprocessors every
+	// scaling interval (dvfs.SMPolicy) — the core-count-throttling
+	// comparator from the paper's related work ([9], [12]). It only
+	// affects energy on devices with PowerParams.CoreGatable > 0.
+	SMScaling bool
+	// CPUGovernor drives the processor P-state when tier 2 is active.
+	// Nil selects the Linux ondemand governor, as in the paper.
+	CPUGovernor governor.Policy
+	// CPUGovernorInterval is the governor's sampling period.
+	CPUGovernorInterval time.Duration
+
+	// Division holds tier 1's parameters (step, initial ratio, safeguard).
+	Division division.Config
+
+	// DivisionPolicy overrides tier 1's strategy entirely (nil uses the
+	// paper's step heuristic configured by Division). This is the
+	// integration point §V-B mentions for more sophisticated division
+	// algorithms, e.g. division.Qilin's adaptive mapping.
+	DivisionPolicy division.Policy
+
+	// Iterations overrides the profile's default iteration count when > 0.
+	Iterations int
+
+	// SpinWait models the synchronous CUDA communication of the paper's
+	// benchmarks: while the GPU computes and the CPU has nothing left, one
+	// CPU core spins at 100% utilization. Disabling it models ideal
+	// blocking waits.
+	SpinWait bool
+
+	// InitialLevels overrides the starting clock levels. For modes
+	// without tier 2 the levels persist for the whole run, which is how
+	// the fixed-frequency sweeps of the paper's Fig. 1 are produced.
+	// Nil keeps the mode's default (peak for non-scaling modes, lowest
+	// for scaling modes).
+	InitialLevels *Levels
+
+	// StaticRatio pins the CPU share of every iteration without tier 1 —
+	// the paper's static-division sweeps (Fig. 2 and §VII-B's
+	// optimality study). Only meaningful for modes without dynamic
+	// division; must be in [0,1].
+	StaticRatio *float64
+
+	// SensorFilter, if non-nil, transforms the GPU utilization readings
+	// before they reach the scaler. It exists for fault injection —
+	// noisy or dropped nvidia-smi samples — in robustness studies.
+	SensorFilter func(uCore, uMem float64) (float64, float64)
+
+	// ActuatorFilter, if non-nil, transforms the scaler's decision before
+	// it is enforced on the device. It exists for fault injection —
+	// stuck or clamped clock actuators (a flaky nvidia-settings) — in
+	// robustness studies. The scaler keeps learning from real
+	// utilizations; only the enforcement is perturbed.
+	ActuatorFilter func(d dvfs.Decision) dvfs.Decision
+
+	// OnDVFS, if non-nil, observes every tier 2 decision.
+	OnDVFS func(at time.Duration, uCore, uMem float64, d dvfs.Decision)
+	// OnCPUGovernor, if non-nil, observes every CPU governor decision.
+	OnCPUGovernor func(at time.Duration, util float64, level int)
+	// OnIteration, if non-nil, observes every completed iteration.
+	OnIteration func(IterationStats)
+}
+
+// Levels names a clock operating point across the machine's domains.
+type Levels struct {
+	Core, Mem, CPU int
+}
+
+// DefaultConfig returns the paper's settings for the given mode.
+func DefaultConfig(mode Mode) Config {
+	return Config{
+		Mode:                mode,
+		DVFSInterval:        3 * time.Second,
+		GPUScaler:           dvfs.DefaultParams(),
+		CPUGovernorInterval: time.Second,
+		Division:            division.DefaultConfig(),
+		SpinWait:            true,
+	}
+}
+
+// Validate reports the first problem with the configuration, if any.
+func (c *Config) Validate() error {
+	if c.Mode < Baseline || c.Mode > Holistic {
+		return fmt.Errorf("core: unknown mode %d", int(c.Mode))
+	}
+	if c.Mode.scales() {
+		if c.DVFSInterval <= 0 {
+			return fmt.Errorf("core: DVFSInterval must be positive")
+		}
+		if c.CPUGovernorInterval <= 0 {
+			return fmt.Errorf("core: CPUGovernorInterval must be positive")
+		}
+		if err := c.GPUScaler.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Mode.divides() && c.DivisionPolicy == nil {
+		if err := c.Division.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Iterations < 0 {
+		return fmt.Errorf("core: Iterations must be non-negative")
+	}
+	if c.StaticRatio != nil {
+		if c.Mode.divides() {
+			return fmt.Errorf("core: StaticRatio conflicts with dynamic division in mode %v", c.Mode)
+		}
+		if *c.StaticRatio < 0 || *c.StaticRatio > 1 {
+			return fmt.Errorf("core: StaticRatio = %v, must be in [0,1]", *c.StaticRatio)
+		}
+	}
+	return nil
+}
+
+// IterationStats describes one completed iteration.
+type IterationStats struct {
+	Index int
+	// R is the CPU share in force during the iteration.
+	R float64
+	// TC and TG are the CPU-side and GPU-side completion times measured
+	// from the iteration start. TG includes the host→device transfer, as
+	// the GPU pipeline cannot start without it.
+	TC, TG time.Duration
+	// WallTime is the iteration's total duration, max(TC, TG).
+	WallTime time.Duration
+	// Energy is the whole-system energy spent during the iteration;
+	// EnergyGPU and EnergyCPU split it by measurement boundary.
+	Energy    units.Energy
+	EnergyGPU units.Energy
+	EnergyCPU units.Energy
+	// CoreLevel and MemLevel are the GPU levels at iteration end.
+	CoreLevel, MemLevel int
+	// CPULevel is the processor P-state at iteration end.
+	CPULevel int
+}
+
+// Result summarizes a framework run.
+type Result struct {
+	Workload string
+	Mode     Mode
+
+	Iterations []IterationStats
+
+	TotalTime time.Duration
+	Energy    units.Energy
+	EnergyGPU units.Energy
+	EnergyCPU units.Energy
+
+	// SpinTime and SpinEnergy cover CPU busy-waiting on the GPU, the
+	// quantities the paper's Fig. 6c emulation substitutes.
+	SpinTime   time.Duration
+	SpinEnergy units.Energy
+
+	// FinalRatio is the division ratio after the last iteration.
+	FinalRatio float64
+	// DivisionHistory is tier 1's decision log (empty unless dividing).
+	DivisionHistory []division.Observation
+	// DVFSSteps counts tier 2 decisions taken.
+	DVFSSteps int
+}
+
+// AveragePower returns the run's mean system power.
+func (r *Result) AveragePower() units.Power {
+	return r.Energy.Div(r.TotalTime)
+}
+
+// EmulatedEnergyCPUThrottled reapplies the paper's Fig. 6c emulation: CPU
+// energy during provably idle spin-waits is replaced by idle energy at the
+// lowest P-state, modelling a CPU that could be throttled during
+// asynchronous GPU phases.
+func (r *Result) EmulatedEnergyCPUThrottled(idleAtLowest units.Power) units.Energy {
+	return r.Energy - r.SpinEnergy + idleAtLowest.Over(r.SpinTime)
+}
+
+// Run executes the profile on the machine under cfg and returns the result.
+// The machine must be freshly assembled (devices idle); Run panics
+// otherwise, because reusing a half-consumed machine silently corrupts the
+// energy accounting.
+func Run(m *testbed.Machine, p *workload.Profile, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if m.GPU.Busy() || m.CPU.Busy() {
+		panic("core: Run on a busy machine")
+	}
+	f := &framework{machine: m, profile: p, cfg: cfg}
+	return f.run()
+}
+
+// framework carries one run's mutable state.
+type framework struct {
+	machine *testbed.Machine
+	profile *workload.Profile
+	cfg     Config
+
+	divider division.Policy
+	scaler  *dvfs.Scaler
+	cpuGov  governor.Policy
+
+	ratio      float64
+	iterations int
+
+	iterIndex  int
+	iterStart  time.Duration
+	iterStartE testbed.EnergySnapshot
+	cpuDoneAt  time.Duration
+	gpuDoneAt  time.Duration
+	cpuPending bool
+	gpuPending bool
+	result     *Result
+	dvfsTicker *sim.Ticker
+	govTicker  *sim.Ticker
+}
+
+func (f *framework) run() (*Result, error) {
+	m := f.machine
+	cfg := f.cfg
+
+	f.iterations = f.profile.Iterations
+	if cfg.Iterations > 0 {
+		f.iterations = cfg.Iterations
+	}
+	f.result = &Result{Workload: f.profile.Name, Mode: cfg.Mode}
+
+	// Initial clocks: modes without tier 2 pin everything at peak (the
+	// Rodinia default / best-performance configuration); modes with
+	// tier 2 start from the card's default lowest levels and let the
+	// scaler ramp up, as in the paper's Fig. 5 runs. The CPU mirrors it.
+	gpu, cpu := m.GPU, m.CPU
+	switch {
+	case cfg.InitialLevels != nil:
+		l := cfg.InitialLevels
+		if l.Core < 0 || l.Core >= len(gpu.CoreLevels()) ||
+			l.Mem < 0 || l.Mem >= len(gpu.MemLevels()) ||
+			l.CPU < 0 || l.CPU >= cpu.Levels() {
+			return nil, fmt.Errorf("core: InitialLevels %+v out of range", *l)
+		}
+		gpu.SetLevels(l.Core, l.Mem)
+		cpu.SetLevel(l.CPU)
+	case cfg.Mode.scales():
+		gpu.SetLevels(0, 0)
+		cpu.SetLevel(0)
+	default:
+		gpu.SetLevels(len(gpu.CoreLevels())-1, len(gpu.MemLevels())-1)
+		cpu.SetLevel(cpu.Levels() - 1)
+	}
+
+	// Tier 1 setup.
+	switch {
+	case cfg.Mode.divides():
+		if cfg.DivisionPolicy != nil {
+			f.divider = cfg.DivisionPolicy
+		} else {
+			f.divider = division.New(cfg.Division)
+		}
+		f.ratio = f.divider.Ratio()
+	case cfg.StaticRatio != nil:
+		f.ratio = *cfg.StaticRatio
+	default:
+		f.ratio = 0 // all work on the GPU
+	}
+
+	// Tier 2 setup.
+	if cfg.Mode.scales() {
+		if cfg.Fixed8Scaler {
+			f.scaler = dvfs.NewScalerFixed8(gpu.CoreLevels(), gpu.MemLevels(), cfg.GPUScaler)
+		} else {
+			f.scaler = dvfs.NewScaler(gpu.CoreLevels(), gpu.MemLevels(), cfg.GPUScaler)
+		}
+		f.cpuGov = cfg.CPUGovernor
+		if f.cpuGov == nil {
+			f.cpuGov = governor.NewOndemand()
+		}
+		var smPolicy *dvfs.SMPolicy
+		if cfg.SMScaling {
+			smPolicy = dvfs.NewSMPolicy(gpu.Config().SMs)
+		}
+		lastCnt := gpu.Counters()
+		f.dvfsTicker = m.Engine.Every(cfg.DVFSInterval, "tier2:gpu-dvfs", func() {
+			cnt := gpu.Counters()
+			w := cnt.Since(lastCnt)
+			lastCnt = cnt
+			uc, um := w.CoreUtil, w.MemUtil
+			if cfg.SensorFilter != nil {
+				uc, um = cfg.SensorFilter(uc, um)
+			}
+			if smPolicy != nil {
+				gpu.SetActiveSMs(smPolicy.Next(uc, gpu.ActiveSMs()))
+			}
+			d := f.scaler.Step(uc, um)
+			if cfg.ActuatorFilter != nil {
+				d = cfg.ActuatorFilter(d)
+				nc, nm := len(gpu.CoreLevels()), len(gpu.MemLevels())
+				d.CoreLevel = clampInt(d.CoreLevel, 0, nc-1)
+				d.MemLevel = clampInt(d.MemLevel, 0, nm-1)
+			}
+			gpu.SetLevels(d.CoreLevel, d.MemLevel)
+			f.result.DVFSSteps++
+			if cfg.OnDVFS != nil {
+				cfg.OnDVFS(m.Engine.Now(), w.CoreUtil, w.MemUtil, d)
+			}
+		})
+		f.govTicker = m.Engine.Every(cfg.CPUGovernorInterval, "tier2:cpu-governor", func() {
+			u := cpu.MaxCoreUtilization()
+			next := f.cpuGov.Next(u, cpu.Level(), cpu.Levels())
+			cpu.SetLevel(next)
+			if cfg.OnCPUGovernor != nil {
+				cfg.OnCPUGovernor(m.Engine.Now(), u, next)
+			}
+		})
+	}
+
+	startSnap := m.Snapshot()
+	cpuCnt0 := cpu.Counters()
+
+	f.startIteration()
+	m.Engine.Run()
+
+	if f.dvfsTicker != nil {
+		f.dvfsTicker.Stop()
+	}
+	if f.govTicker != nil {
+		f.govTicker.Stop()
+	}
+
+	endSnap := m.Snapshot()
+	cpuCnt1 := cpu.Counters()
+	r := f.result
+	r.TotalTime = endSnap.At - startSnap.At
+	r.EnergyGPU = endSnap.GPU - startSnap.GPU
+	r.EnergyCPU = endSnap.CPU - startSnap.CPU
+	r.Energy = r.EnergyGPU + r.EnergyCPU
+	r.SpinTime = cpuCnt1.SpinTime - cpuCnt0.SpinTime
+	r.SpinEnergy = cpuCnt1.SpinEnergy - cpuCnt0.SpinEnergy
+	r.FinalRatio = f.ratio
+	if f.divider != nil {
+		r.DivisionHistory = f.divider.History()
+	}
+	return r, nil
+}
+
+// startIteration launches both sides of iteration f.iterIndex.
+func (f *framework) startIteration() {
+	m := f.machine
+	f.iterStart = m.Engine.Now()
+	f.iterStartE = m.Snapshot()
+	f.cpuPending, f.gpuPending = true, true
+
+	r := f.ratio
+	gpuUnits := (1 - r) * workload.UnitsPerIteration
+	cpuUnits := r * workload.UnitsPerIteration
+
+	// Repartitioning traffic when the ratio moved since last iteration.
+	if f.iterIndex > 0 && f.divider != nil {
+		h := f.divider.History()
+		last := h[len(h)-1]
+		if bytes := f.profile.RepartitionTraffic(last.R, last.NewR); bytes > 0 {
+			m.Bus.Transfer(bytes, fmt.Sprintf("%s:iter%d:repartition", f.profile.Name, f.iterIndex), nil)
+		}
+	}
+
+	// GPU side: host→device transfer, then the kernel.
+	if gpuUnits > 1e-9 {
+		name := fmt.Sprintf("%s:iter%d", f.profile.Name, f.iterIndex)
+		k := f.profile.GPUKernel(name, gpuUnits)
+		k.OnComplete = func() { f.sideDone(&f.gpuPending, &f.gpuDoneAt) }
+		xfer := f.profile.TransferBytes(gpuUnits)
+		m.Bus.Transfer(xfer, name+":h2d", func() { m.GPU.Submit(k) })
+	} else {
+		f.sideDone(&f.gpuPending, &f.gpuDoneAt)
+	}
+
+	// CPU side.
+	if cpuUnits > 1e-9 {
+		m.CPU.Run(&cpusim.Job{
+			Name:       fmt.Sprintf("%s:iter%d:cpu", f.profile.Name, f.iterIndex),
+			Ops:        f.profile.CPUOps(cpuUnits),
+			OnComplete: func() { f.sideDone(&f.cpuPending, &f.cpuDoneAt) },
+		})
+	} else {
+		f.sideDone(&f.cpuPending, &f.cpuDoneAt)
+	}
+
+	f.updateSpin()
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// sideDone marks one side complete and ends the iteration when both are.
+func (f *framework) sideDone(pending *bool, doneAt *time.Duration) {
+	if !*pending {
+		return
+	}
+	*pending = false
+	*doneAt = f.machine.Engine.Now()
+	if !f.cpuPending && !f.gpuPending {
+		f.endIteration()
+	} else {
+		f.updateSpin()
+	}
+}
+
+// updateSpin keeps one CPU core busy-waiting whenever the CPU side is done
+// but the GPU side is not — the synchronous-communication behaviour that
+// pins CPU utilization at 100% in the paper's benchmarks.
+func (f *framework) updateSpin() {
+	if !f.cfg.SpinWait {
+		return
+	}
+	cpu := f.machine.CPU
+	if f.gpuPending && !f.cpuPending {
+		// CPU side finished (or has no work): one core busy-waits on the
+		// synchronous GPU completion.
+		cpu.SetSpin(1)
+	} else {
+		cpu.SetSpin(0)
+	}
+}
+
+func (f *framework) endIteration() {
+	m := f.machine
+	f.machine.CPU.SetSpin(0)
+
+	stats := IterationStats{
+		Index:     f.iterIndex,
+		R:         f.ratio,
+		TC:        f.cpuDoneAt - f.iterStart,
+		TG:        f.gpuDoneAt - f.iterStart,
+		WallTime:  m.Engine.Now() - f.iterStart,
+		CoreLevel: m.GPU.CoreLevel(),
+		MemLevel:  m.GPU.MemLevel(),
+		CPULevel:  m.CPU.Level(),
+	}
+	cur := m.Snapshot()
+	stats.EnergyGPU = cur.GPU - f.iterStartE.GPU
+	stats.EnergyCPU = cur.CPU - f.iterStartE.CPU
+	stats.Energy = stats.EnergyGPU + stats.EnergyCPU
+	f.result.Iterations = append(f.result.Iterations, stats)
+	if f.cfg.OnIteration != nil {
+		f.cfg.OnIteration(stats)
+	}
+
+	if f.divider != nil {
+		f.ratio = f.divider.Observe(stats.TC, stats.TG)
+	}
+
+	f.iterIndex++
+	if f.iterIndex < f.iterations {
+		f.startIteration()
+		return
+	}
+	// Run complete: silence tier 2 and stop the engine so callers with
+	// their own periodic events (meters, monitors) regain control.
+	if f.dvfsTicker != nil {
+		f.dvfsTicker.Stop()
+	}
+	if f.govTicker != nil {
+		f.govTicker.Stop()
+	}
+	f.machine.Engine.Stop()
+}

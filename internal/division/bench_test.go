@@ -1,0 +1,32 @@
+package division
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkObserve measures one division decision including the
+// oscillation-safeguard prediction.
+func BenchmarkObserve(b *testing.B) {
+	d := New(DefaultConfig())
+	for i := 0; i < b.N; i++ {
+		// Alternate imbalance directions so every branch stays hot.
+		if i%2 == 0 {
+			d.Observe(4*time.Second, 2*time.Second)
+		} else {
+			d.Observe(2*time.Second, 4*time.Second)
+		}
+	}
+}
+
+// BenchmarkQilinObserve measures one adaptive-mapping decision including
+// the least-squares refit.
+func BenchmarkQilinObserve(b *testing.B) {
+	q := NewQilin(DefaultQilinConfig())
+	for i := 0; i < b.N; i++ {
+		r := q.Ratio()
+		tc := time.Duration(4 * r * float64(time.Second))
+		tg := time.Duration((1 - r) * float64(time.Second))
+		q.Observe(tc, tg)
+	}
+}

@@ -1,0 +1,41 @@
+package dvfs
+
+import (
+	"testing"
+
+	"greengpu/internal/units"
+)
+
+func benchLadder(n int) []units.Frequency {
+	out := make([]units.Frequency, n)
+	for i := range out {
+		out[i] = units.Frequency(400+i*40) * units.Megahertz
+	}
+	return out
+}
+
+// BenchmarkScalerStep measures one full Algorithm 1 interval on the
+// testbed-sized 6×6 pair table: 36 loss evaluations, 36 multiplicative
+// updates, one argmax.
+func BenchmarkScalerStep(b *testing.B) {
+	s := NewScaler(benchLadder(6), benchLadder(6), DefaultParams())
+	for i := 0; i < b.N; i++ {
+		s.Step(0.6, 0.4)
+	}
+}
+
+// BenchmarkScalerStepLarge measures a modern-GPU-sized 16×16 table.
+func BenchmarkScalerStepLarge(b *testing.B) {
+	s := NewScaler(benchLadder(16), benchLadder(16), DefaultParams())
+	for i := 0; i < b.N; i++ {
+		s.Step(0.6, 0.4)
+	}
+}
+
+// BenchmarkLoss measures the Table I loss kernel alone — the paper's §VI
+// argues it reduces to shift-add hardware; this is its software cost.
+func BenchmarkLoss(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Loss(0.73, 0.6, 0.15)
+	}
+}

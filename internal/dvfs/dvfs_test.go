@@ -1,0 +1,378 @@
+package dvfs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"greengpu/internal/units"
+)
+
+// ladders mirroring the testbed: 6 core levels 411..576, 6 memory 500..900.
+func coreLadder() []units.Frequency {
+	return []units.Frequency{411, 444, 477, 510, 543, 576}
+}
+
+func memLadder() []units.Frequency {
+	return []units.Frequency{500, 580, 660, 740, 820, 900}
+}
+
+func mhz(fs []units.Frequency) []units.Frequency {
+	out := make([]units.Frequency, len(fs))
+	for i, f := range fs {
+		out[i] = f * units.Megahertz
+	}
+	return out
+}
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams()
+	if p.AlphaCore != 0.15 || p.AlphaMem != 0.02 || p.Phi != 0.3 || p.Beta != 0.2 {
+		t.Errorf("DefaultParams = %+v, want paper constants", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("default params invalid: %v", err)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	bads := []Params{
+		{AlphaCore: -0.1, AlphaMem: 0.02, Phi: 0.3, Beta: 0.2},
+		{AlphaCore: 0.15, AlphaMem: 1.5, Phi: 0.3, Beta: 0.2},
+		{AlphaCore: 0.15, AlphaMem: 0.02, Phi: -1, Beta: 0.2},
+		{AlphaCore: 0.15, AlphaMem: 0.02, Phi: 0.3, Beta: 0},
+		{AlphaCore: 0.15, AlphaMem: 0.02, Phi: 0.3, Beta: 1},
+	}
+	for i, p := range bads {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestUMeansLinearMap(t *testing.T) {
+	um := UMeans(mhz(memLadder()))
+	if um[0] != 0 {
+		t.Errorf("lowest umean = %v, want 0", um[0])
+	}
+	if um[len(um)-1] != 1 {
+		t.Errorf("peak umean = %v, want 1", um[len(um)-1])
+	}
+	// 740 MHz is (740-500)/(900-500) = 0.6.
+	if math.Abs(um[3]-0.6) > 1e-12 {
+		t.Errorf("umean[3] = %v, want 0.6", um[3])
+	}
+	// Monotone ascending.
+	for i := 1; i < len(um); i++ {
+		if um[i] <= um[i-1] {
+			t.Errorf("umean not ascending at %d: %v", i, um)
+		}
+	}
+}
+
+func TestUMeansSingleLevel(t *testing.T) {
+	um := UMeans([]units.Frequency{500 * units.Megahertz})
+	if len(um) != 1 || um[0] != 1 {
+		t.Errorf("single-level UMeans = %v, want [1]", um)
+	}
+}
+
+func TestUMeansEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	UMeans(nil)
+}
+
+// Table I: u > umean gives pure performance loss; u < umean pure energy loss.
+func TestLossTableI(t *testing.T) {
+	alpha := 0.15
+	// Over-utilized level: perf loss = u - umean, weighted (1-alpha).
+	if got, want := Loss(0.8, 0.5, alpha), (1-alpha)*0.3; math.Abs(got-want) > 1e-12 {
+		t.Errorf("over-util loss = %v, want %v", got, want)
+	}
+	// Under-utilized level: energy loss = umean - u, weighted alpha.
+	if got, want := Loss(0.2, 0.5, alpha), alpha*0.3; math.Abs(got-want) > 1e-12 {
+		t.Errorf("under-util loss = %v, want %v", got, want)
+	}
+	// Exact match: zero loss.
+	if got := Loss(0.5, 0.5, alpha); got != 0 {
+		t.Errorf("matched loss = %v, want 0", got)
+	}
+}
+
+func TestLossAsymmetry(t *testing.T) {
+	// With small alpha, running too slow (perf loss) must hurt much more
+	// than running too fast (energy loss) — the paper's performance-first
+	// tuning.
+	tooSlow := Loss(0.9, 0.4, 0.15)
+	tooFast := Loss(0.4, 0.9, 0.15)
+	if tooSlow <= tooFast {
+		t.Errorf("perf loss %v should exceed energy loss %v for alpha=0.15", tooSlow, tooFast)
+	}
+}
+
+func newTestScaler() *Scaler {
+	return NewScaler(mhz(coreLadder()), mhz(memLadder()), DefaultParams())
+}
+
+func TestScalerDimensions(t *testing.T) {
+	s := newTestScaler()
+	n, m := s.Levels()
+	if n != 6 || m != 6 {
+		t.Errorf("Levels = (%d,%d), want (6,6)", n, m)
+	}
+}
+
+func TestHighUtilizationSelectsPeak(t *testing.T) {
+	s := newTestScaler()
+	var d Decision
+	for i := 0; i < 50; i++ {
+		d = s.Step(1.0, 1.0)
+	}
+	if d.CoreLevel != 5 || d.MemLevel != 5 {
+		t.Errorf("decision for u=(1,1) = %+v, want peak (5,5)", d)
+	}
+}
+
+func TestLowUtilizationSelectsLowest(t *testing.T) {
+	s := newTestScaler()
+	var d Decision
+	for i := 0; i < 50; i++ {
+		d = s.Step(0.0, 0.0)
+	}
+	if d.CoreLevel != 0 || d.MemLevel != 0 {
+		t.Errorf("decision for u=(0,0) = %+v, want lowest (0,0)", d)
+	}
+}
+
+func TestMidUtilizationSelectsMatchingLevels(t *testing.T) {
+	s := newTestScaler()
+	// u_core = 0.6 maps to core umean 0.6 -> level 3 (411+0.6*165=510).
+	// u_mem = 0.4 maps to mem umean 0.4 -> level 2 (660 MHz).
+	var d Decision
+	for i := 0; i < 50; i++ {
+		d = s.Step(0.6, 0.4)
+	}
+	if d.CoreLevel != 3 {
+		t.Errorf("core level = %d, want 3", d.CoreLevel)
+	}
+	if d.MemLevel != 2 {
+		t.Errorf("mem level = %d, want 2", d.MemLevel)
+	}
+}
+
+func TestCoordination(t *testing.T) {
+	// Core-bounded load (high u_core, low u_mem) must keep core high and
+	// throttle memory — the Fig. 1 behaviour.
+	s := newTestScaler()
+	var d Decision
+	for i := 0; i < 50; i++ {
+		d = s.Step(0.95, 0.2)
+	}
+	if d.CoreLevel < 4 {
+		t.Errorf("core-bounded: core level %d too low", d.CoreLevel)
+	}
+	if d.MemLevel > 2 {
+		t.Errorf("core-bounded: mem level %d not throttled", d.MemLevel)
+	}
+	// Memory-bounded load: the opposite.
+	s = newTestScaler()
+	for i := 0; i < 50; i++ {
+		d = s.Step(0.25, 0.9)
+	}
+	if d.MemLevel < 4 {
+		t.Errorf("mem-bounded: mem level %d too low", d.MemLevel)
+	}
+	if d.CoreLevel > 2 {
+		t.Errorf("mem-bounded: core level %d not throttled", d.CoreLevel)
+	}
+}
+
+func TestAdaptsToPhaseChange(t *testing.T) {
+	s := newTestScaler()
+	for i := 0; i < 30; i++ {
+		s.Step(0.1, 0.1)
+	}
+	// With performance-favouring alpha the scaler settles on the level just
+	// above the load (umean 0.2 > u = 0.1), not the absolute lowest.
+	if d := s.Step(0.1, 0.1); d.CoreLevel > 1 || d.MemLevel > 1 {
+		t.Fatalf("low phase decision = %+v, want levels <= 1", d)
+	}
+	// Utilization ramps up (the Fig. 5 streamcluster scenario): decision
+	// must move to high levels within a bounded number of intervals.
+	var d Decision
+	for i := 0; i < 60; i++ {
+		d = s.Step(0.95, 0.85)
+	}
+	if d.CoreLevel < 4 || d.MemLevel < 4 {
+		t.Errorf("after ramp-up decision = %+v, want high levels", d)
+	}
+}
+
+func TestTotalLossBlends(t *testing.T) {
+	s := newTestScaler()
+	// At pair (5,5): umeans are (1,1); with u = (0.5, 0.5) both domains have
+	// pure energy loss 0.5.
+	want := 0.3*(0.15*0.5) + 0.7*(0.02*0.5)
+	if got := s.TotalLoss(5, 5, 0.5, 0.5); math.Abs(got-want) > 1e-12 {
+		t.Errorf("TotalLoss = %v, want %v", got, want)
+	}
+}
+
+func TestTotalLossClampsUtilization(t *testing.T) {
+	s := newTestScaler()
+	if got := s.TotalLoss(0, 0, -0.5, 1.7); got != s.TotalLoss(0, 0, 0, 1) {
+		t.Errorf("clamping failed: %v", got)
+	}
+}
+
+func TestStepCountAndReset(t *testing.T) {
+	s := newTestScaler()
+	s.Step(0.5, 0.5)
+	s.Step(0.5, 0.5)
+	if s.Steps() != 2 {
+		t.Errorf("Steps = %d", s.Steps())
+	}
+	s.Reset()
+	if s.Steps() != 0 {
+		t.Errorf("Steps after Reset = %d", s.Steps())
+	}
+	if w := s.Weight(0, 0); w != 1 {
+		t.Errorf("weight after Reset = %v", w)
+	}
+}
+
+func TestUMeanAccessors(t *testing.T) {
+	s := newTestScaler()
+	if got := s.CoreUMean(5); got != 1 {
+		t.Errorf("CoreUMean(5) = %v", got)
+	}
+	if got := s.MemUMean(0); got != 0 {
+		t.Errorf("MemUMean(0) = %v", got)
+	}
+}
+
+// Property: the chosen pair is always in range and TotalLoss is in [0,1].
+func TestDecisionRangeProperty(t *testing.T) {
+	f := func(steps []float64) bool {
+		s := newTestScaler()
+		for _, v := range steps {
+			uc := math.Abs(math.Mod(v, 1))
+			um := math.Abs(math.Mod(v*1.7, 1))
+			d := s.Step(uc, um)
+			if d.CoreLevel < 0 || d.CoreLevel > 5 || d.MemLevel < 0 || d.MemLevel > 5 {
+				return false
+			}
+			for i := 0; i < 6; i++ {
+				for j := 0; j < 6; j++ {
+					l := s.TotalLoss(i, j, uc, um)
+					if l < 0 || l > 1 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for a steady utilization, the converged decision picks the pair
+// whose umeans minimize the total loss — Algorithm 1 converges to the
+// best frequency pair for the load.
+func TestConvergesToMinLossProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		uc := float64(a) / 255
+		um := float64(b) / 255
+		s := newTestScaler()
+		var d Decision
+		for i := 0; i < 80; i++ {
+			d = s.Step(uc, um)
+		}
+		// Find the true argmin of TotalLoss.
+		bi, bj, best := 0, 0, math.Inf(1)
+		for i := 0; i < 6; i++ {
+			for j := 0; j < 6; j++ {
+				if l := s.TotalLoss(i, j, uc, um); l < best {
+					bi, bj, best = i, j, l
+				}
+			}
+		}
+		return d.CoreLevel == bi && d.MemLevel == bj
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSMPolicyValidation(t *testing.T) {
+	good := NewSMPolicy(16)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default policy invalid: %v", err)
+	}
+	bads := []SMPolicy{
+		{Total: 0, Headroom: 1.25, Hysteresis: 1},
+		{Total: 16, Headroom: 0.5, Hysteresis: 1},
+		{Total: 16, Headroom: 1.25, Hysteresis: -1},
+	}
+	for i, p := range bads {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad policy %d accepted", i)
+		}
+	}
+}
+
+func TestSMPolicyShrinksIdleDevice(t *testing.T) {
+	p := NewSMPolicy(16)
+	next := p.Next(0.25, 16)
+	if next >= 16 {
+		t.Errorf("low utilization kept %d SMs", next)
+	}
+	// 0.25·16·1.25 = 5.
+	if next != 5 {
+		t.Errorf("Next = %d, want 5", next)
+	}
+}
+
+func TestSMPolicyGrowsSaturatedDevice(t *testing.T) {
+	p := NewSMPolicy(16)
+	// Saturated at 4 active: utilization 1 relative to the active set.
+	cur := 4
+	for i := 0; i < 10 && cur < 16; i++ {
+		cur = p.Next(1.0, cur)
+	}
+	if cur != 16 {
+		t.Errorf("saturated device never regrew to 16 (got %d)", cur)
+	}
+}
+
+func TestSMPolicyHysteresisHoldsSmallShrink(t *testing.T) {
+	p := NewSMPolicy(16)
+	// From 8 active, demand 8·0.7·1.25 = 7 — a one-step shrink within
+	// hysteresis: hold.
+	if got := p.Next(0.70, 8); got != 8 {
+		t.Errorf("Next = %d, want hold at 8", got)
+	}
+	// Growth is never suppressed, even by one step.
+	if got := p.Next(0.85, 8); got != 9 {
+		t.Errorf("Next = %d, want 9 (growth must not be damped)", got)
+	}
+}
+
+func TestSMPolicyBounds(t *testing.T) {
+	p := NewSMPolicy(16)
+	if got := p.Next(0, 16); got < 1 {
+		t.Errorf("Next = %d, want >= 1", got)
+	}
+	if got := p.Next(1, 99); got > 16 {
+		t.Errorf("Next = %d, want <= 16", got)
+	}
+	if got := p.Next(math.NaN(), 8); got != 8 {
+		t.Errorf("NaN utilization moved the count to %d", got)
+	}
+}

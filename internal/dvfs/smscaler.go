@@ -1,0 +1,98 @@
+package dvfs
+
+import (
+	"fmt"
+	"math"
+)
+
+// SMPolicy is a core-count throttling policy in the spirit of the paper's
+// related work ([9] Hong & Kim; [12] Lee et al.): instead of (or in
+// addition to) scaling the core clock, power-gate stream multiprocessors
+// the workload does not use. The policy sizes the active set to the
+// measured core utilization plus headroom, with hysteresis so it does not
+// flap on noise.
+//
+// GreenGPU's argument against core-count-only management is that it
+// ignores the memory domain and the CPU; the extension experiments run
+// this policy head-to-head so that argument is quantified rather than
+// asserted.
+type SMPolicy struct {
+	// Total is the device's SM count.
+	Total int
+	// Headroom multiplies the utilization-implied demand before rounding
+	// up, keeping slack so the gated device does not become the
+	// bottleneck. Default 1.25.
+	Headroom float64
+	// Hysteresis suppresses changes smaller than this many SMs.
+	// Default 1.
+	Hysteresis int
+}
+
+// NewSMPolicy returns a policy with default tuning for a device with the
+// given SM count.
+func NewSMPolicy(total int) *SMPolicy {
+	return &SMPolicy{Total: total, Headroom: 1.25, Hysteresis: 1}
+}
+
+// Validate reports the first problem with the policy, if any.
+func (p *SMPolicy) Validate() error {
+	if p.Total < 1 {
+		return fmt.Errorf("dvfs: SMPolicy.Total = %d, must be >= 1", p.Total)
+	}
+	if p.Headroom < 1 {
+		return fmt.Errorf("dvfs: SMPolicy.Headroom = %v, must be >= 1", p.Headroom)
+	}
+	if p.Hysteresis < 0 {
+		return fmt.Errorf("dvfs: SMPolicy.Hysteresis = %v, must be >= 0", p.Hysteresis)
+	}
+	return nil
+}
+
+// Next returns the active-SM count for the coming interval, given the
+// measured core utilization (relative to the currently active set) and
+// the count in force.
+//
+// The demand estimate converts the relative utilization back to absolute
+// SM-equivalents: u_core · current active SMs. Headroom and ceiling
+// rounding keep the gated set from becoming the bottleneck; hysteresis
+// keeps it stable.
+func (p *SMPolicy) Next(uCore float64, current int) int {
+	if current < 1 {
+		current = 1
+	}
+	if current > p.Total {
+		current = p.Total
+	}
+	if math.IsNaN(uCore) || math.IsInf(uCore, 0) {
+		return current // sensor fault: hold
+	}
+	if uCore < 0 {
+		uCore = 0
+	}
+	if uCore > 1 {
+		uCore = 1
+	}
+	// Saturation jumps straight to the full device, ondemand-style: an
+	// incremental ramp would crawl through several intervals while a new
+	// compute-heavy phase starves (catastrophic on phase-fluctuating
+	// workloads like QG).
+	if uCore >= 0.95 {
+		return p.Total
+	}
+	demand := uCore * float64(current) * p.Headroom
+	next := int(math.Ceil(demand))
+	if next < 1 {
+		next = 1
+	}
+	if next > p.Total {
+		next = p.Total
+	}
+	// Hysteresis damps only downward moves: shrinking the active set is
+	// an energy optimization that can wait out noise, but growing it is
+	// performance-critical (the device is saturated) and must never be
+	// suppressed.
+	if next < current && current-next <= p.Hysteresis {
+		return current
+	}
+	return next
+}

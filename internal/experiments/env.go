@@ -1,0 +1,72 @@
+// Package experiments regenerates every table and figure of the GreenGPU
+// evaluation (paper §III and §VII) on the simulated testbed. Each
+// experiment has a typed runner returning structured results plus a
+// rendering helper producing the rows/series the paper reports.
+//
+// Experiment index:
+//
+//	Fig1    — exec time / energy vs per-domain frequency (nbody, SC)
+//	Fig2    — system energy vs static CPU share (kmeans)
+//	Fig5    — DVFS trace on streamcluster vs best-performance
+//	Fig6    — frequency-scaling savings per workload (a: GPU energy,
+//	          b: dynamic energy + exec time, c: CPU+GPU emulation)
+//	Fig7    — workload-division convergence traces (kmeans, hotspot)
+//	Fig8    — holistic vs single-tier per-iteration energy traces
+//	Table2  — workload characterization
+//	Sweep   — §VII-B static-division optimality study
+//	Ablations — parameter sensitivity studies from DESIGN.md §6
+package experiments
+
+import (
+	"greengpu/internal/bus"
+	"greengpu/internal/core"
+	"greengpu/internal/cpusim"
+	"greengpu/internal/gpusim"
+	"greengpu/internal/testbed"
+	"greengpu/internal/workload"
+)
+
+// Env carries the device configurations and calibrated workloads every
+// experiment runs against.
+type Env struct {
+	GPUConfig gpusim.Config
+	CPUConfig cpusim.Config
+	BusConfig bus.Config
+	Profiles  []*workload.Profile
+}
+
+// NewEnv builds the default environment: the paper's testbed devices and
+// the nine Table II workloads.
+func NewEnv() (*Env, error) {
+	return NewEnvFrom(testbed.GeForce8800GTX(), testbed.PhenomIIX2(), testbed.PCIe())
+}
+
+// NewEnvFrom builds an environment from explicit device configurations,
+// recalibrating all workloads against them.
+func NewEnvFrom(gpu gpusim.Config, cpu cpusim.Config, b bus.Config) (*Env, error) {
+	profiles, err := workload.Rodinia(gpu, cpu)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{GPUConfig: gpu, CPUConfig: cpu, BusConfig: b, Profiles: profiles}, nil
+}
+
+// Machine assembles a fresh testbed. Every run gets its own machine so the
+// exact energy accounting always starts from zero.
+func (e *Env) Machine() *testbed.Machine {
+	return testbed.NewFrom(e.GPUConfig, e.CPUConfig, e.BusConfig)
+}
+
+// Profile returns the named calibrated workload.
+func (e *Env) Profile(name string) (*workload.Profile, error) {
+	return workload.ByName(e.Profiles, name)
+}
+
+// run executes a profile on a fresh machine, propagating errors.
+func (e *Env) run(name string, cfg core.Config) (*core.Result, error) {
+	p, err := e.Profile(name)
+	if err != nil {
+		return nil, err
+	}
+	return core.Run(e.Machine(), p, cfg)
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"greengpu/internal/core"
+	"greengpu/internal/trace"
+	"greengpu/internal/units"
+)
+
+// Fig1Domain selects which clock domain a sweep varies.
+type Fig1Domain string
+
+// Sweep domains.
+const (
+	DomainMemory Fig1Domain = "memory" // Fig. 1a/1b: memory sweep, core at peak
+	DomainCore   Fig1Domain = "core"   // Fig. 1c/1d: core sweep, memory at peak
+)
+
+// Fig1Point is one bar of Fig. 1: a workload run at one fixed frequency
+// level, normalized to the peak-frequency run of the same workload.
+type Fig1Point struct {
+	Workload string
+	Domain   Fig1Domain
+	Level    int
+	MHz      float64
+	// NormTime is exec time / exec time at peak (Fig. 1's "normalized
+	// execution time"); RelEnergy is GPU energy / GPU energy at peak
+	// ("relative energy").
+	NormTime  float64
+	RelEnergy float64
+	ExecTime  time.Duration
+	Energy    units.Energy
+}
+
+// Fig1Result holds both workloads' sweeps over both domains.
+type Fig1Result struct {
+	Points []Fig1Point
+}
+
+// fig1Workloads are the case-study workloads of §III-A: core-bounded nbody
+// and memory-bounded streamcluster.
+var fig1Workloads = []string{"nbody", "streamcluster"}
+
+// Fig1 reproduces the §III-A case study: run each workload GPU-only at
+// every frequency level of one domain (the other pinned at peak) and report
+// execution time and GPU energy normalized to the peak-frequency run.
+func (e *Env) Fig1() (*Fig1Result, error) {
+	res := &Fig1Result{}
+	nCore := len(e.GPUConfig.CoreLevels)
+	nMem := len(e.GPUConfig.MemLevels)
+	for _, name := range fig1Workloads {
+		for _, domain := range []Fig1Domain{DomainMemory, DomainCore} {
+			var sweep []Fig1Point
+			var peak Fig1Point
+			n := nMem
+			if domain == DomainCore {
+				n = nCore
+			}
+			for lvl := 0; lvl < n; lvl++ {
+				levels := core.Levels{
+					Core: nCore - 1,
+					Mem:  nMem - 1,
+					CPU:  len(e.CPUConfig.PStates) - 1,
+				}
+				var mhz float64
+				if domain == DomainMemory {
+					levels.Mem = lvl
+					mhz = e.GPUConfig.MemLevels[lvl].MHz()
+				} else {
+					levels.Core = lvl
+					mhz = e.GPUConfig.CoreLevels[lvl].MHz()
+				}
+				cfg := core.DefaultConfig(core.Baseline)
+				cfg.InitialLevels = &levels
+				cfg.Iterations = 4
+				r, err := e.run(name, cfg)
+				if err != nil {
+					return nil, err
+				}
+				pt := Fig1Point{
+					Workload: name,
+					Domain:   domain,
+					Level:    lvl,
+					MHz:      mhz,
+					ExecTime: r.TotalTime,
+					Energy:   r.EnergyGPU,
+				}
+				if lvl == n-1 {
+					peak = pt
+				}
+				sweep = append(sweep, pt)
+			}
+			for i := range sweep {
+				sweep[i].NormTime = float64(sweep[i].ExecTime) / float64(peak.ExecTime)
+				sweep[i].RelEnergy = float64(sweep[i].Energy) / float64(peak.Energy)
+			}
+			res.Points = append(res.Points, sweep...)
+		}
+	}
+	return res, nil
+}
+
+// Table renders the sweep in the layout of Fig. 1's four panels.
+func (r *Fig1Result) Table() *trace.Table {
+	t := trace.NewTable(
+		"Fig. 1 — normalized execution time and relative GPU energy vs frequency",
+		"workload", "swept domain", "MHz", "norm time", "rel energy")
+	for _, p := range r.Points {
+		t.AddRow(p.Workload, string(p.Domain),
+			fmt.Sprintf("%.0f", p.MHz),
+			fmt.Sprintf("%.4f", p.NormTime),
+			fmt.Sprintf("%.4f", p.RelEnergy))
+	}
+	return t
+}
+
+// Select returns the points of one panel (one workload, one domain),
+// ordered by ascending frequency.
+func (r *Fig1Result) Select(workload string, domain Fig1Domain) []Fig1Point {
+	var out []Fig1Point
+	for _, p := range r.Points {
+		if p.Workload == workload && p.Domain == domain {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"greengpu/internal/core"
+	"greengpu/internal/trace"
+	"greengpu/internal/units"
+)
+
+// Fig2Point is one bar of Fig. 2: total system energy for a fixed static
+// division ratio.
+type Fig2Point struct {
+	CPUShare float64
+	Energy   units.Energy
+	Time     time.Duration
+}
+
+// Fig2Result is the static-division energy sweep.
+type Fig2Result struct {
+	Workload string
+	Points   []Fig2Point
+	// OptimalShare is the share with minimum energy.
+	OptimalShare float64
+}
+
+// Fig2 reproduces the §III-B case study: kmeans under static division with
+// the CPU share swept from 0% to 90%, all clocks at peak. The curve dips as
+// the CPU relieves the GPU, bottoms at a small CPU share, and climbs as the
+// slower CPU becomes the bottleneck.
+func (e *Env) Fig2() (*Fig2Result, error) {
+	return e.DivisionSweep("kmeans", 0, 0.9, 0.1, 6)
+}
+
+// DivisionSweep runs a static-division energy sweep over CPU shares
+// [lo, hi] with the given step. iterations <= 0 uses the profile default.
+func (e *Env) DivisionSweep(name string, lo, hi, step float64, iterations int) (*Fig2Result, error) {
+	if step <= 0 || hi < lo {
+		return nil, fmt.Errorf("experiments: invalid sweep [%v, %v] step %v", lo, hi, step)
+	}
+	res := &Fig2Result{Workload: name}
+	for share := lo; share <= hi+1e-9; share += step {
+		share := share
+		cfg := core.DefaultConfig(core.Baseline)
+		cfg.StaticRatio = &share
+		if iterations > 0 {
+			cfg.Iterations = iterations
+		}
+		r, err := e.run(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, Fig2Point{
+			CPUShare: share,
+			Energy:   r.Energy,
+			Time:     r.TotalTime,
+		})
+	}
+	energies := make([]float64, len(res.Points))
+	for i, p := range res.Points {
+		energies[i] = float64(p.Energy)
+	}
+	res.OptimalShare = res.Points[trace.ArgMin(energies)].CPUShare
+	return res, nil
+}
+
+// Table renders the sweep as Fig. 2's bar heights.
+func (r *Fig2Result) Table() *trace.Table {
+	t := trace.NewTable(
+		fmt.Sprintf("Fig. 2 — system energy vs static CPU share (%s); optimum at %.0f%%", r.Workload, r.OptimalShare*100),
+		"cpu share %", "energy (kJ)", "time (s)")
+	for _, p := range r.Points {
+		t.AddRow(
+			fmt.Sprintf("%.0f", p.CPUShare*100),
+			fmt.Sprintf("%.2f", p.Energy.Joules()/1e3),
+			fmt.Sprintf("%.1f", p.Time.Seconds()))
+	}
+	return t
+}

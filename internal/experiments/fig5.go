@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"greengpu/internal/core"
+	"greengpu/internal/dvfs"
+	"greengpu/internal/trace"
+	"greengpu/internal/units"
+)
+
+// Fig5Sample is one scaling interval of the Fig. 5 trace.
+type Fig5Sample struct {
+	At       time.Duration
+	CoreUtil float64
+	MemUtil  float64
+	CoreMHz  float64
+	MemMHz   float64
+}
+
+// Fig5Result is the Fig. 5 trace: the frequency-scaling tier following the
+// utilizations of a fluctuating workload, plus the power/time comparison
+// against the best-performance baseline.
+type Fig5Result struct {
+	Workload string
+	Samples  []Fig5Sample
+
+	// Power traces sampled at 1 Hz by meter 2 (the GPU card meter),
+	// for the scaled run and the best-performance baseline.
+	PowerScaled []float64
+	PowerBase   []float64
+
+	ExecScaled time.Duration
+	ExecBase   time.Duration
+
+	AvgPowerScaled units.Power
+	AvgPowerBase   units.Power
+
+	EnergyScaled units.Energy
+	EnergyBase   units.Energy
+}
+
+// Fig5 reproduces the frequency-scaling trace run (§VII-A, Fig. 5) on
+// streamcluster: tier 2 active with the paper's 3 s interval, workload
+// division disabled, starting from the card's default lowest clocks.
+func (e *Env) Fig5() (*Fig5Result, error) {
+	const name = "streamcluster"
+	res := &Fig5Result{Workload: name}
+
+	// Scaled run, with the DVFS observer recording the trace.
+	p, err := e.Profile(name)
+	if err != nil {
+		return nil, err
+	}
+	m := e.Machine()
+	gpu := m.GPU
+	m.MeterGPU.Start()
+	cfgRun := core.DefaultConfig(core.FreqScaling)
+	cfgRun.Iterations = 6
+	cfgRun.OnDVFS = func(at time.Duration, uc, um float64, d dvfs.Decision) {
+		res.Samples = append(res.Samples, Fig5Sample{
+			At:       at,
+			CoreUtil: uc,
+			MemUtil:  um,
+			CoreMHz:  gpu.CoreLevels()[d.CoreLevel].MHz(),
+			MemMHz:   gpu.MemLevels()[d.MemLevel].MHz(),
+		})
+	}
+	scaled, err := core.Run(m, p, cfgRun)
+	if err != nil {
+		return nil, err
+	}
+	m.MeterGPU.Stop()
+	for _, s := range m.MeterGPU.Samples() {
+		res.PowerScaled = append(res.PowerScaled, s.Power.Watts())
+	}
+	res.ExecScaled = scaled.TotalTime
+	res.EnergyScaled = scaled.EnergyGPU
+	res.AvgPowerScaled = scaled.EnergyGPU.Div(scaled.TotalTime)
+
+	// Best-performance baseline.
+	mb := e.Machine()
+	mb.MeterGPU.Start()
+	base, err := core.Run(mb, p, baselineConfig(6))
+	if err != nil {
+		return nil, err
+	}
+	mb.MeterGPU.Stop()
+	for _, s := range mb.MeterGPU.Samples() {
+		res.PowerBase = append(res.PowerBase, s.Power.Watts())
+	}
+	res.ExecBase = base.TotalTime
+	res.EnergyBase = base.EnergyGPU
+	res.AvgPowerBase = base.EnergyGPU.Div(base.TotalTime)
+	return res, nil
+}
+
+func baselineConfig(iters int) core.Config {
+	cfg := core.DefaultConfig(core.Baseline)
+	cfg.Iterations = iters
+	return cfg
+}
+
+// Table renders the DVFS trace (Fig. 5a/5b).
+func (r *Fig5Result) Table() *trace.Table {
+	t := trace.NewTable(
+		fmt.Sprintf("Fig. 5 — frequency-scaling trace on %s (exec %.0fs vs best-performance %.0fs; avg GPU power %.1fW vs %.1fW)",
+			r.Workload, r.ExecScaled.Seconds(), r.ExecBase.Seconds(),
+			r.AvgPowerScaled.Watts(), r.AvgPowerBase.Watts()),
+		"t (s)", "core util", "core MHz", "mem util", "mem MHz")
+	for _, s := range r.Samples {
+		t.AddRow(
+			fmt.Sprintf("%.0f", s.At.Seconds()),
+			fmt.Sprintf("%.2f", s.CoreUtil),
+			fmt.Sprintf("%.0f", s.CoreMHz),
+			fmt.Sprintf("%.2f", s.MemUtil),
+			fmt.Sprintf("%.0f", s.MemMHz))
+	}
+	return t
+}
+
+// Sparklines returns a compact visual rendering of the Fig. 5 trace: one
+// line per signal, suitable for terminal output next to the full table.
+func (r *Fig5Result) Sparklines() string {
+	var uc, um, fc, fm []float64
+	for _, s := range r.Samples {
+		uc = append(uc, s.CoreUtil)
+		um = append(um, s.MemUtil)
+		fc = append(fc, s.CoreMHz)
+		fm = append(fm, s.MemMHz)
+	}
+	return fmt.Sprintf(
+		"core util  %s\ncore MHz   %s\nmem util   %s\nmem MHz    %s\npower (W)  %s\n",
+		trace.Sparkline(uc), trace.Sparkline(fc),
+		trace.Sparkline(um), trace.Sparkline(fm),
+		trace.Sparkline(r.PowerScaled))
+}
+
+// PowerTable renders Fig. 5c: the per-second GPU power trace of the scaled
+// run against the best-performance baseline.
+func (r *Fig5Result) PowerTable() *trace.Table {
+	t := trace.NewTable(
+		fmt.Sprintf("Fig. 5c — GPU power trace (%s): scaling avg %.1f W vs best-performance %.1f W",
+			r.Workload, r.AvgPowerScaled.Watts(), r.AvgPowerBase.Watts()),
+		"t (s)", "power scaled (W)", "power best-perf (W)")
+	n := len(r.PowerScaled)
+	if len(r.PowerBase) > n {
+		n = len(r.PowerBase)
+	}
+	for i := 0; i < n; i++ {
+		scaled, base := "", ""
+		if i < len(r.PowerScaled) {
+			scaled = fmt.Sprintf("%.1f", r.PowerScaled[i])
+		}
+		if i < len(r.PowerBase) {
+			base = fmt.Sprintf("%.1f", r.PowerBase[i])
+		}
+		t.AddRow(fmt.Sprintf("%d", i), scaled, base)
+	}
+	return t
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+
+	"greengpu/internal/core"
+	"greengpu/internal/trace"
+)
+
+// Fig7Result is one workload's division-convergence trace (paper Fig. 7):
+// per-iteration CPU share and both sides' execution times, with tier 2
+// disabled and all clocks at peak.
+type Fig7Result struct {
+	Workload string
+	// Iterations carries R, TC and TG per iteration.
+	Iterations []core.IterationStats
+	// ConvergedRatio is the final CPU share.
+	ConvergedRatio float64
+	// ConvergedAfter is the first iteration index after which the ratio
+	// no longer changed.
+	ConvergedAfter int
+}
+
+// Fig7 runs the division trace for one workload (the paper shows kmeans,
+// which converges to 20/80 after ~4 iterations from a 30% start, and
+// hotspot, which converges to 50/50).
+func (e *Env) Fig7(name string) (*Fig7Result, error) {
+	cfg := core.DefaultConfig(core.Division)
+	r, err := e.run(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7Result{
+		Workload:       name,
+		Iterations:     r.Iterations,
+		ConvergedRatio: r.FinalRatio,
+	}
+	res.ConvergedAfter = len(r.Iterations) - 1
+	for i := len(r.Iterations) - 1; i >= 0; i-- {
+		if r.Iterations[i].R != res.ConvergedRatio {
+			break
+		}
+		res.ConvergedAfter = i
+	}
+	return res, nil
+}
+
+// Table renders the trace in Fig. 7's layout.
+func (r *Fig7Result) Table() *trace.Table {
+	t := trace.NewTable(
+		fmt.Sprintf("Fig. 7 — workload division trace (%s): converged to %.0f/%.0f (CPU/GPU) after %d iterations",
+			r.Workload, r.ConvergedRatio*100, (1-r.ConvergedRatio)*100, r.ConvergedAfter),
+		"iteration", "cpu share %", "tc (s)", "tg (s)")
+	for _, it := range r.Iterations {
+		t.AddRow(
+			fmt.Sprintf("%d", it.Index+1),
+			fmt.Sprintf("%.0f", it.R*100),
+			fmt.Sprintf("%.1f", it.TC.Seconds()),
+			fmt.Sprintf("%.1f", it.TG.Seconds()))
+	}
+	return t
+}

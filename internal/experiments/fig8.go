@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+
+	"greengpu/internal/core"
+	"greengpu/internal/trace"
+	"greengpu/internal/units"
+)
+
+// Fig8Iteration is one iteration of the three-way comparison in Fig. 8.
+type Fig8Iteration struct {
+	Index int
+	// R is GreenGPU's division ratio in that iteration.
+	R float64
+	// Per-iteration system energy under each configuration.
+	Holistic    units.Energy
+	Division    units.Energy
+	FreqScaling units.Energy
+}
+
+// Fig8Result is one workload's holistic-vs-single-tier comparison.
+type Fig8Result struct {
+	Workload   string
+	Iterations []Fig8Iteration
+
+	TotalHolistic    units.Energy
+	TotalDivision    units.Energy
+	TotalFreqScaling units.Energy
+	TotalBaseline    units.Energy
+
+	// SavingVsDivision and SavingVsFreqScaling are GreenGPU's additional
+	// savings over each single tier; SavingVsBaseline is against the
+	// Rodinia default configuration (all GPU, all peak clocks).
+	SavingVsDivision    float64
+	SavingVsFreqScaling float64
+	SavingVsBaseline    float64
+
+	// ExecDeltaVsDivision is the holistic run's execution-time increase
+	// over division-only (the paper reports 1.7%).
+	ExecDeltaVsDivision float64
+}
+
+// Fig8 reproduces §VII-C for one workload: GreenGPU (both tiers) against
+// Division-only, Frequency-scaling-only, and the Rodinia default baseline.
+// The paper shows hotspot (+7.88% over division, +28.76% over frequency
+// scaling) and kmeans (+1.6% and +12.05%), with 21.04% average saving vs
+// the default configuration and 1.7% longer execution than division-only.
+func (e *Env) Fig8(name string) (*Fig8Result, error) {
+	hol, err := e.run(name, core.DefaultConfig(core.Holistic))
+	if err != nil {
+		return nil, err
+	}
+	div, err := e.run(name, core.DefaultConfig(core.Division))
+	if err != nil {
+		return nil, err
+	}
+	fs, err := e.run(name, core.DefaultConfig(core.FreqScaling))
+	if err != nil {
+		return nil, err
+	}
+	base, err := e.run(name, baselineConfig(0))
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig8Result{
+		Workload:         name,
+		TotalHolistic:    hol.Energy,
+		TotalDivision:    div.Energy,
+		TotalFreqScaling: fs.Energy,
+		TotalBaseline:    base.Energy,
+	}
+	n := len(hol.Iterations)
+	for i := 0; i < n; i++ {
+		it := Fig8Iteration{Index: i, R: hol.Iterations[i].R, Holistic: hol.Iterations[i].Energy}
+		if i < len(div.Iterations) {
+			it.Division = div.Iterations[i].Energy
+		}
+		if i < len(fs.Iterations) {
+			it.FreqScaling = fs.Iterations[i].Energy
+		}
+		res.Iterations = append(res.Iterations, it)
+	}
+	res.SavingVsDivision = 1 - float64(hol.Energy)/float64(div.Energy)
+	res.SavingVsFreqScaling = 1 - float64(hol.Energy)/float64(fs.Energy)
+	res.SavingVsBaseline = 1 - float64(hol.Energy)/float64(base.Energy)
+	res.ExecDeltaVsDivision = float64(hol.TotalTime)/float64(div.TotalTime) - 1
+	return res, nil
+}
+
+// Table renders the per-iteration energies and the summary savings.
+func (r *Fig8Result) Table() *trace.Table {
+	t := trace.NewTable(
+		fmt.Sprintf("Fig. 8 — holistic trace (%s): GreenGPU saves %.2f%% vs division-only, %.2f%% vs frequency-scaling-only, %.2f%% vs default (exec +%.2f%% vs division)",
+			r.Workload, r.SavingVsDivision*100, r.SavingVsFreqScaling*100,
+			r.SavingVsBaseline*100, r.ExecDeltaVsDivision*100),
+		"iteration", "cpu share %", "greengpu (kJ)", "division (kJ)", "freq-scaling (kJ)")
+	for _, it := range r.Iterations {
+		t.AddRow(
+			fmt.Sprintf("%d", it.Index+1),
+			fmt.Sprintf("%.0f", it.R*100),
+			fmt.Sprintf("%.2f", it.Holistic.Joules()/1e3),
+			fmt.Sprintf("%.2f", it.Division.Joules()/1e3),
+			fmt.Sprintf("%.2f", it.FreqScaling.Joules()/1e3))
+	}
+	return t
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"testing"
+
+	"greengpu/internal/core"
+)
+
+// TestFullMatrix runs every Table II workload under every framework mode —
+// the whole-system integration smoke test. It asserts the universal
+// invariants: positive energy, consistent accounting, bounded ratios, and
+// the per-workload energy ordering baseline >= freq-scaling (tier 2 never
+// loses more than the cold-start rounding on any workload).
+func TestFullMatrix(t *testing.T) {
+	for _, p := range env.Profiles {
+		for _, mode := range []core.Mode{core.Baseline, core.FreqScaling, core.Division, core.Holistic} {
+			cfg := core.DefaultConfig(mode)
+			cfg.Iterations = 4
+			res, err := core.Run(env.Machine(), p, cfg)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", p.Name, mode, err)
+			}
+			if res.Energy <= 0 || res.TotalTime <= 0 {
+				t.Errorf("%s/%v: degenerate accounting (E=%v, T=%v)", p.Name, mode, res.Energy, res.TotalTime)
+			}
+			if got := res.EnergyGPU + res.EnergyCPU; got != res.Energy {
+				t.Errorf("%s/%v: energy split inconsistent", p.Name, mode)
+			}
+			if res.FinalRatio < 0 || res.FinalRatio > 1 {
+				t.Errorf("%s/%v: ratio %v out of range", p.Name, mode, res.FinalRatio)
+			}
+			if len(res.Iterations) != 4 {
+				t.Errorf("%s/%v: %d iterations, want 4", p.Name, mode, len(res.Iterations))
+			}
+			for _, it := range res.Iterations {
+				if it.WallTime <= 0 || it.Energy <= 0 {
+					t.Errorf("%s/%v: iteration %d degenerate", p.Name, mode, it.Index)
+				}
+			}
+		}
+	}
+}
+
+// TestFreqScalingNeverCatastrophic asserts tier 2's worst case across the
+// whole workload set: execution time within 10% of best-performance and
+// GPU energy within 2% even when there is nothing to save.
+func TestFreqScalingNeverCatastrophic(t *testing.T) {
+	for _, p := range env.Profiles {
+		base, err := env.run(p.Name, baselineConfig(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		scaled, err := env.run(p.Name, scalingConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow := float64(scaled.TotalTime)/float64(base.TotalTime) - 1
+		if slow > 0.10 {
+			t.Errorf("%s: +%.1f%% execution under scaling", p.Name, slow*100)
+		}
+		loss := float64(scaled.EnergyGPU)/float64(base.EnergyGPU) - 1
+		if loss > 0.02 {
+			t.Errorf("%s: scaling lost %.1f%% GPU energy", p.Name, loss*100)
+		}
+	}
+}

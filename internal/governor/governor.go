@@ -1,0 +1,157 @@
+// Package governor implements CPU frequency governors: the Linux ondemand
+// governor that GreenGPU adopts for the CPU tier (paper §IV), plus the fixed
+// policies used as baselines in the evaluation.
+//
+// The ondemand behaviour follows Pallipadi & Starikovskiy's description,
+// which the paper quotes: "If CPU utilization rises above an upper
+// utilization threshold value, the ondemand governor increases the CPU
+// frequency to the highest available frequency. When CPU utilization falls
+// below a low utilization threshold, the governor sets the CPU to run at the
+// next lowest frequency."
+package governor
+
+import "fmt"
+
+// Policy decides the next frequency level from the observed utilization.
+// Levels are indices into an ascending frequency ladder with nLevels
+// entries; current is the level in force during the sampled interval.
+type Policy interface {
+	// Next returns the level to enforce for the coming interval.
+	Next(util float64, current, nLevels int) int
+	// Name identifies the policy in traces and experiment output.
+	Name() string
+}
+
+// Ondemand is the Linux ondemand governor (linux-2.6.9 and later).
+type Ondemand struct {
+	// UpThreshold jumps straight to the highest level when exceeded.
+	// Linux's default is 0.80.
+	UpThreshold float64
+	// DownThreshold steps one level down when utilization falls below it.
+	// Linux derives it as UpThreshold minus a down-differential of 10
+	// points by default; 0.30 matches the kernel's conservative effective
+	// behaviour for mostly-idle loads and is what we default to.
+	DownThreshold float64
+}
+
+// NewOndemand returns an ondemand governor with the default thresholds.
+func NewOndemand() *Ondemand {
+	return &Ondemand{UpThreshold: 0.80, DownThreshold: 0.30}
+}
+
+// Validate reports the first problem with the thresholds, if any.
+func (o *Ondemand) Validate() error {
+	if o.UpThreshold <= 0 || o.UpThreshold > 1 {
+		return fmt.Errorf("governor: UpThreshold = %v, must be in (0,1]", o.UpThreshold)
+	}
+	if o.DownThreshold < 0 || o.DownThreshold >= o.UpThreshold {
+		return fmt.Errorf("governor: DownThreshold = %v, must be in [0, UpThreshold)", o.DownThreshold)
+	}
+	return nil
+}
+
+// Name implements Policy.
+func (o *Ondemand) Name() string { return "ondemand" }
+
+// Next implements Policy: above UpThreshold jump to the top level; below
+// DownThreshold step down one level; otherwise hold.
+func (o *Ondemand) Next(util float64, current, nLevels int) int {
+	if nLevels <= 0 {
+		panic("governor: nLevels must be positive")
+	}
+	current = clampLevel(current, nLevels)
+	switch {
+	case util > o.UpThreshold:
+		return nLevels - 1
+	case util < o.DownThreshold && current > 0:
+		return current - 1
+	default:
+		return current
+	}
+}
+
+// Conservative is the Linux conservative governor: like ondemand but it
+// steps the frequency up gradually (one level per decision) instead of
+// jumping straight to the maximum. The paper notes that other DVFS
+// strategies can be slotted into GreenGPU's CPU tier; this is the other
+// stock-kernel option.
+type Conservative struct {
+	UpThreshold   float64
+	DownThreshold float64
+}
+
+// NewConservative returns a conservative governor with the kernel's
+// default thresholds.
+func NewConservative() *Conservative {
+	return &Conservative{UpThreshold: 0.80, DownThreshold: 0.20}
+}
+
+// Validate reports the first problem with the thresholds, if any.
+func (c *Conservative) Validate() error {
+	if c.UpThreshold <= 0 || c.UpThreshold > 1 {
+		return fmt.Errorf("governor: UpThreshold = %v, must be in (0,1]", c.UpThreshold)
+	}
+	if c.DownThreshold < 0 || c.DownThreshold >= c.UpThreshold {
+		return fmt.Errorf("governor: DownThreshold = %v, must be in [0, UpThreshold)", c.DownThreshold)
+	}
+	return nil
+}
+
+// Name implements Policy.
+func (c *Conservative) Name() string { return "conservative" }
+
+// Next implements Policy: one step up above UpThreshold, one step down
+// below DownThreshold, hold in between.
+func (c *Conservative) Next(util float64, current, nLevels int) int {
+	if nLevels <= 0 {
+		panic("governor: nLevels must be positive")
+	}
+	current = clampLevel(current, nLevels)
+	switch {
+	case util > c.UpThreshold && current < nLevels-1:
+		return current + 1
+	case util < c.DownThreshold && current > 0:
+		return current - 1
+	default:
+		return current
+	}
+}
+
+// BestPerformance always selects the highest level — the paper's
+// best-performance baseline (§VII-A).
+type BestPerformance struct{}
+
+// Name implements Policy.
+func (BestPerformance) Name() string { return "best-performance" }
+
+// Next implements Policy.
+func (BestPerformance) Next(_ float64, _, nLevels int) int {
+	if nLevels <= 0 {
+		panic("governor: nLevels must be positive")
+	}
+	return nLevels - 1
+}
+
+// PowerSave always selects the lowest level.
+type PowerSave struct{}
+
+// Name implements Policy.
+func (PowerSave) Name() string { return "powersave" }
+
+// Next implements Policy.
+func (PowerSave) Next(_ float64, _, nLevels int) int {
+	if nLevels <= 0 {
+		panic("governor: nLevels must be positive")
+	}
+	return 0
+}
+
+func clampLevel(l, n int) int {
+	if l < 0 {
+		return 0
+	}
+	if l >= n {
+		return n - 1
+	}
+	return l
+}

@@ -1,0 +1,57 @@
+package gpusim
+
+import (
+	"testing"
+	"time"
+
+	"greengpu/internal/sim"
+)
+
+// BenchmarkKernelExecution measures the simulator cost of running one
+// multi-phase kernel to completion — phases are O(1) regardless of the
+// simulated work amount, which is what makes whole-evaluation runs take
+// microseconds.
+func BenchmarkKernelExecution(b *testing.B) {
+	e := sim.New()
+	g := New(e, testConfig(0.15))
+	for i := 0; i < b.N; i++ {
+		g.Submit(&Kernel{Name: "b", Phases: []Phase{
+			{Ops: 1e9, Bytes: 2e8},
+			{Ops: 5e8, Bytes: 6e8},
+			{Ops: 2e9, Bytes: 1e8, Stall: 0.5},
+		}})
+		e.Run()
+	}
+}
+
+// BenchmarkFrequencyChangeMidPhase measures the DVFS re-timing path:
+// cancel the in-flight completion event, carry over remaining demand,
+// re-time at the new clocks.
+func BenchmarkFrequencyChangeMidPhase(b *testing.B) {
+	e := sim.New()
+	g := New(e, testConfig(0.15))
+	relaunch := func() {}
+	relaunch = func() {
+		// ~10^7 simulated seconds per kernel: far beyond what the bench
+		// loop consumes, resubmitted if it ever completes.
+		g.Submit(&Kernel{Name: "long", Phases: []Phase{{Ops: 1e15}}, OnComplete: relaunch})
+	}
+	relaunch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunUntil(e.Now() + time.Millisecond)
+		g.SetLevels(i%2, (i/2)%2)
+	}
+}
+
+// BenchmarkCounters measures the utilization/energy snapshot read the
+// scaling tier takes every interval.
+func BenchmarkCounters(b *testing.B) {
+	e := sim.New()
+	g := New(e, testConfig(0.15))
+	g.Submit(&Kernel{Name: "bg", Phases: []Phase{{Ops: 1e18}}})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Counters()
+	}
+}

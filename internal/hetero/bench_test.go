@@ -1,0 +1,40 @@
+package hetero
+
+import (
+	"testing"
+
+	"greengpu/internal/kernels"
+)
+
+// BenchmarkExecutorHotspot measures a full divided hotspot run: pool
+// dispatch, chunk merge, division decisions.
+func BenchmarkExecutorHotspot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := kernels.NewHotspot(128, 128, 20, uint64(i)+1)
+		x := New(k, &Pool{Name: "cpu", Workers: 2}, &Pool{Name: "acc", Workers: 4}, Config{})
+		x.Run()
+	}
+}
+
+// BenchmarkPoolDispatch measures the pool's per-iteration goroutine
+// fan-out/fan-in overhead on a tiny kernel — the division tier's fixed
+// cost per barrier.
+func BenchmarkPoolDispatch(b *testing.B) {
+	k := kernels.NewHotspot(8, 8, 1<<30, 1)
+	p := &Pool{Name: "p", Workers: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Process(k, 0, k.Items())
+	}
+}
+
+// BenchmarkMultiExecutor measures a 3-way divided run.
+func BenchmarkMultiExecutor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := kernels.NewHotspot(96, 96, 15, uint64(i)+1)
+		x := NewMulti(k, []*Pool{
+			{Name: "a", Workers: 2}, {Name: "b", Workers: 2}, {Name: "c", Workers: 2},
+		}, MultiConfig{})
+		x.Run()
+	}
+}

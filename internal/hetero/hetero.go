@@ -1,0 +1,269 @@
+// Package hetero executes real kernels (internal/kernels) across two
+// worker pools of different speeds — a stand-in for the paper's CPU +
+// GPU pthread structure (§VI) — and drives GreenGPU's workload-division
+// tier from measured wall-clock times.
+//
+// Each iteration's items are split by the current division ratio: the CPU
+// pool processes the first r·n items, the accelerator pool the rest,
+// concurrently. Both sides' execution times feed division.Divider, which
+// rebalances the split for the next iteration exactly as on the paper's
+// testbed. An optional energy model translates the measured busy and idle
+// times into estimated energy, so the examples can report the idle-energy
+// reduction the division tier exists to deliver.
+package hetero
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"greengpu/internal/division"
+	"greengpu/internal/kernels"
+	"greengpu/internal/units"
+)
+
+// Pool is a fixed-size worker pool.
+type Pool struct {
+	// Name labels the pool in stats ("cpu", "gpu", ...).
+	Name string
+	// Workers is the number of goroutines used per chunk.
+	Workers int
+	// ItemDelay, when non-zero, adds an artificial per-item cost. It
+	// exists to give the two pools a controlled, machine-independent
+	// speed asymmetry in tests and demos.
+	ItemDelay time.Duration
+}
+
+// Validate reports the first problem with the pool, if any.
+func (p *Pool) Validate() error {
+	if p.Workers <= 0 {
+		return fmt.Errorf("hetero: pool %q needs at least one worker", p.Name)
+	}
+	if p.ItemDelay < 0 {
+		return fmt.Errorf("hetero: pool %q has negative ItemDelay", p.Name)
+	}
+	return nil
+}
+
+// Process runs items [lo, hi) of the kernel's current iteration on the
+// pool, returning the chunks' partial results. Chunks over disjoint
+// sub-ranges run concurrently on the pool's workers.
+func (p *Pool) Process(k kernels.Kernel, lo, hi int) []any {
+	n := hi - lo
+	if n <= 0 {
+		return nil
+	}
+	if p.ItemDelay > 0 {
+		time.Sleep(time.Duration(n) * p.ItemDelay)
+	}
+	workers := p.Workers
+	if workers > n {
+		workers = n
+	}
+	partials := make([]any, workers)
+	var wg sync.WaitGroup
+	per := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		clo := lo + w*per
+		chi := clo + per
+		if chi > hi {
+			chi = hi
+		}
+		if clo >= chi {
+			break
+		}
+		wg.Add(1)
+		go func(idx, clo, chi int) {
+			defer wg.Done()
+			partials[idx] = k.Chunk(clo, chi)
+		}(w, clo, chi)
+	}
+	wg.Wait()
+	out := partials[:0]
+	for _, p := range partials {
+		if p != nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// EnergyModel translates busy/idle time into estimated energy for the
+// examples' reporting. Values are device powers at the measurement
+// boundaries, as in internal/testbed.
+type EnergyModel struct {
+	CPUBusy units.Power
+	CPUIdle units.Power
+	AccBusy units.Power
+	AccIdle units.Power
+}
+
+// Config parameterizes an executor run.
+type Config struct {
+	// Division holds tier 1's parameters; zero value uses the defaults.
+	Division division.Config
+	// MaxIterations bounds the number of barriers; 0 runs the kernel to
+	// completion.
+	MaxIterations int
+	// Energy, when non-nil, enables energy estimation in the report.
+	Energy *EnergyModel
+	// OnIteration, if non-nil, observes every completed iteration.
+	OnIteration func(IterationStat)
+}
+
+// IterationStat describes one iteration barrier.
+type IterationStat struct {
+	Index    int
+	Items    int
+	CPUItems int
+	R        float64
+	TCPU     time.Duration
+	TAcc     time.Duration
+	Wall     time.Duration
+}
+
+// Report summarizes an executor run.
+type Report struct {
+	Kernel     string
+	Iterations []IterationStat
+	FinalRatio float64
+	TotalWall  time.Duration
+	// CPUBusy and AccBusy are the summed per-side execution times;
+	// CPUWait and AccWait the summed idle time each side spent waiting
+	// for the other at iteration barriers.
+	CPUBusy, AccBusy time.Duration
+	CPUWait, AccWait time.Duration
+	// Energy is the modelled total energy; zero when no model was given.
+	Energy units.Energy
+}
+
+// Balance returns the final iteration's relative imbalance
+// |tcpu − tacc| / wall, the quantity the division tier minimizes.
+func (r *Report) Balance() float64 {
+	if len(r.Iterations) == 0 {
+		return 0
+	}
+	last := r.Iterations[len(r.Iterations)-1]
+	if last.Wall == 0 {
+		return 0
+	}
+	d := last.TCPU - last.TAcc
+	if d < 0 {
+		d = -d
+	}
+	return float64(d) / float64(last.Wall)
+}
+
+// Executor drives one kernel over two pools under dynamic division.
+type Executor struct {
+	kernel  kernels.Kernel
+	cpu     *Pool
+	acc     *Pool
+	cfg     Config
+	divider *division.Divider
+}
+
+// New creates an executor. The zero-valued Division config is replaced by
+// the paper defaults. It panics on invalid pools or division parameters.
+func New(k kernels.Kernel, cpu, acc *Pool, cfg Config) *Executor {
+	if k == nil {
+		panic("hetero: nil kernel")
+	}
+	for _, p := range []*Pool{cpu, acc} {
+		if p == nil {
+			panic("hetero: nil pool")
+		}
+		if err := p.Validate(); err != nil {
+			panic(err)
+		}
+	}
+	if cfg.Division == (division.Config{}) {
+		cfg.Division = division.DefaultConfig()
+	}
+	return &Executor{
+		kernel:  k,
+		cpu:     cpu,
+		acc:     acc,
+		cfg:     cfg,
+		divider: division.New(cfg.Division),
+	}
+}
+
+// Ratio returns the current CPU share.
+func (x *Executor) Ratio() float64 { return x.divider.Ratio() }
+
+// Run executes the kernel to completion (or MaxIterations) and returns the
+// report.
+func (x *Executor) Run() *Report {
+	rep := &Report{Kernel: x.kernel.Name()}
+	start := time.Now()
+	for iter := 0; ; iter++ {
+		if x.cfg.MaxIterations > 0 && iter >= x.cfg.MaxIterations {
+			break
+		}
+		n := x.kernel.Items()
+		r := x.divider.Ratio()
+		cpuN := int(r*float64(n) + 0.5)
+		if cpuN > n {
+			cpuN = n
+		}
+
+		var cpuParts, accParts []any
+		var tCPU, tAcc time.Duration
+		iterStart := time.Now()
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			cpuParts = x.cpu.Process(x.kernel, 0, cpuN)
+			tCPU = time.Since(t0)
+		}()
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			accParts = x.acc.Process(x.kernel, cpuN, n)
+			tAcc = time.Since(t0)
+		}()
+		wg.Wait()
+		wall := time.Since(iterStart)
+
+		stat := IterationStat{
+			Index:    iter,
+			Items:    n,
+			CPUItems: cpuN,
+			R:        r,
+			TCPU:     tCPU,
+			TAcc:     tAcc,
+			Wall:     wall,
+		}
+		rep.Iterations = append(rep.Iterations, stat)
+		rep.CPUBusy += tCPU
+		rep.AccBusy += tAcc
+		if tCPU < tAcc {
+			rep.CPUWait += tAcc - tCPU
+		} else {
+			rep.AccWait += tCPU - tAcc
+		}
+		if x.cfg.OnIteration != nil {
+			x.cfg.OnIteration(stat)
+		}
+
+		x.divider.Observe(tCPU, tAcc)
+
+		partials := append(cpuParts, accParts...)
+		if !x.kernel.EndIteration(partials) {
+			break
+		}
+	}
+	rep.TotalWall = time.Since(start)
+	rep.FinalRatio = x.divider.Ratio()
+	if m := x.cfg.Energy; m != nil {
+		rep.Energy = m.CPUBusy.Over(rep.CPUBusy) + m.CPUIdle.Over(rep.CPUWait) +
+			m.AccBusy.Over(rep.AccBusy) + m.AccIdle.Over(rep.AccWait)
+	}
+	return rep
+}
+
+// History exposes the divider's decision log.
+func (x *Executor) History() []division.Observation { return x.divider.History() }

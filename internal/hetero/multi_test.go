@@ -1,0 +1,165 @@
+package hetero
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"greengpu/internal/kernels"
+	"greengpu/internal/units"
+)
+
+func TestMultiValidation(t *testing.T) {
+	k := kernels.NewHotspot(8, 8, 1, 1)
+	good := []*Pool{{Name: "a", Workers: 1}, {Name: "b", Workers: 1}}
+	cases := []func(){
+		func() { NewMulti(nil, good, MultiConfig{}) },
+		func() { NewMulti(k, good[:1], MultiConfig{}) },
+		func() { NewMulti(k, []*Pool{good[0], nil}, MultiConfig{}) },
+		func() { NewMulti(k, []*Pool{good[0], {Name: "bad", Workers: 0}}, MultiConfig{}) },
+		func() { NewMulti(k, good, MultiConfig{Smoothing: 2}) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMultiInitialSharesEqual(t *testing.T) {
+	k := kernels.NewHotspot(8, 8, 1, 1)
+	x := NewMulti(k, []*Pool{
+		{Name: "a", Workers: 1}, {Name: "b", Workers: 1}, {Name: "c", Workers: 1},
+	}, MultiConfig{})
+	for _, s := range x.Shares() {
+		if math.Abs(s-1.0/3) > 1e-12 {
+			t.Errorf("initial shares = %v", x.Shares())
+		}
+	}
+}
+
+func TestMultiResultsMatchSerial(t *testing.T) {
+	serial := kernels.NewPathFinder(80, 240, 5)
+	kernels.RunSerial(serial)
+	split := kernels.NewPathFinder(80, 240, 5)
+	x := NewMulti(split, []*Pool{
+		{Name: "a", Workers: 1}, {Name: "b", Workers: 2}, {Name: "c", Workers: 2},
+	}, MultiConfig{})
+	x.Run()
+	if split.BestCost() != serial.BestCost() {
+		t.Errorf("3-way run cost %d != serial %d", split.BestCost(), serial.BestCost())
+	}
+}
+
+func TestMultiSharesTrackPoolSpeeds(t *testing.T) {
+	// Pools with per-item delays 100/200/400 µs have rates 4:2:1, so
+	// shares should converge near (4/7, 2/7, 1/7).
+	k := kernels.NewHotspot(64, 64, 30, 3)
+	x := NewMulti(k, []*Pool{
+		{Name: "fast", Workers: 1, ItemDelay: 200 * time.Microsecond},
+		{Name: "mid", Workers: 1, ItemDelay: 400 * time.Microsecond},
+		{Name: "slow", Workers: 1, ItemDelay: 800 * time.Microsecond},
+	}, MultiConfig{})
+	rep := x.Run()
+	want := []float64{4.0 / 7, 2.0 / 7, 1.0 / 7}
+	for i, s := range rep.FinalShares {
+		if math.Abs(s-want[i]) > 0.08 {
+			t.Errorf("pool %s share %.3f, want ~%.3f", rep.Pools[i], s, want[i])
+		}
+	}
+	if imb := rep.Imbalance(); imb > 0.25 {
+		t.Errorf("final imbalance %.2f, want balanced", imb)
+	}
+}
+
+func TestMultiMaxIterations(t *testing.T) {
+	k := kernels.NewHotspot(16, 16, 100, 5)
+	x := NewMulti(k, []*Pool{{Name: "a", Workers: 1}, {Name: "b", Workers: 1}},
+		MultiConfig{MaxIterations: 4})
+	rep := x.Run()
+	if len(rep.Iterations) != 4 {
+		t.Errorf("ran %d iterations, want 4", len(rep.Iterations))
+	}
+}
+
+func TestMultiObserver(t *testing.T) {
+	k := kernels.NewHotspot(16, 16, 5, 7)
+	seen := 0
+	x := NewMulti(k, []*Pool{{Name: "a", Workers: 1}, {Name: "b", Workers: 1}},
+		MultiConfig{OnIteration: func(MultiIterationStat) { seen++ }})
+	x.Run()
+	if seen != 5 {
+		t.Errorf("observer fired %d times, want 5", seen)
+	}
+}
+
+func TestMultiSplitCountsSumToItems(t *testing.T) {
+	k := kernels.NewHotspot(16, 16, 3, 9)
+	x := NewMulti(k, []*Pool{
+		{Name: "a", Workers: 1}, {Name: "b", Workers: 1}, {Name: "c", Workers: 1},
+	}, MultiConfig{})
+	rep := x.Run()
+	for _, it := range rep.Iterations {
+		sum := 0
+		for _, c := range it.Counts {
+			sum += c
+		}
+		if sum != it.Items {
+			t.Errorf("iteration %d: counts sum to %d, want %d", it.Index, sum, it.Items)
+		}
+	}
+}
+
+func TestMultiImbalanceEmpty(t *testing.T) {
+	rep := &MultiReport{}
+	if rep.Imbalance() != 0 {
+		t.Error("empty report imbalance should be 0")
+	}
+}
+
+func TestMultiBFSVaryingFrontier(t *testing.T) {
+	b := kernels.NewBFS(2500, 3, 11)
+	x := NewMulti(b, []*Pool{
+		{Name: "a", Workers: 2}, {Name: "b", Workers: 2}, {Name: "c", Workers: 2},
+	}, MultiConfig{})
+	x.Run()
+	want := b.ReferenceDistances()
+	for v := 0; v < 2500; v++ {
+		if int32(b.Distance(v)) != want[v] {
+			t.Fatalf("distance(%d) = %d, want %d", v, b.Distance(v), want[v])
+		}
+	}
+}
+
+func TestMultiEnergyModel(t *testing.T) {
+	k := kernels.NewHotspot(32, 32, 8, 13)
+	x := NewMulti(k, []*Pool{
+		{Name: "a", Workers: 1, ItemDelay: 200 * time.Microsecond},
+		{Name: "b", Workers: 1, ItemDelay: 100 * time.Microsecond},
+	}, MultiConfig{Energy: []PoolPower{{Busy: 100, Idle: 50}, {Busy: 140, Idle: 80}}})
+	rep := x.Run()
+	if rep.Energy <= 0 {
+		t.Fatal("no energy modelled")
+	}
+	want := units.Power(100).Over(rep.Busy[0]) + units.Power(50).Over(rep.Wait[0]) +
+		units.Power(140).Over(rep.Busy[1]) + units.Power(80).Over(rep.Wait[1])
+	if math.Abs(float64(rep.Energy-want)) > 1e-9 {
+		t.Errorf("Energy = %v, want %v", rep.Energy, want)
+	}
+}
+
+func TestMultiEnergyModelWrongLengthPanics(t *testing.T) {
+	k := kernels.NewHotspot(8, 8, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMulti(k, []*Pool{{Name: "a", Workers: 1}, {Name: "b", Workers: 1}},
+		MultiConfig{Energy: []PoolPower{{Busy: 1, Idle: 1}}})
+}

@@ -1,0 +1,139 @@
+package kernels
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// BFS is level-synchronized breadth-first search over a CSR graph, the
+// Rodinia bfs structure: each iteration expands the current frontier (the
+// divisible items) and the next frontier forms at the barrier. Distances
+// are claimed with compare-and-swap so concurrent chunks discovering the
+// same vertex stay correct.
+type BFS struct {
+	offsets []int32
+	edges   []int32
+	n       int
+
+	dist     []int32
+	frontier []int32
+	level    int32
+}
+
+// bfsUnvisited marks a vertex not yet reached.
+const bfsUnvisited = int32(-1)
+
+// NewBFS builds a random graph with n vertices and roughly degree edges
+// per vertex (plus a ring to keep it connected), rooted at vertex 0.
+func NewBFS(n, degree int, seed uint64) *BFS {
+	if n <= 1 || degree < 0 {
+		panic(fmt.Sprintf("kernels: invalid bfs shape n=%d degree=%d", n, degree))
+	}
+	rng := newSplitMix64(seed)
+	adj := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		// Ring edge guarantees connectivity.
+		adj[v] = append(adj[v], int32((v+1)%n))
+		for e := 0; e < degree; e++ {
+			adj[v] = append(adj[v], int32(rng.intn(n)))
+		}
+	}
+	b := &BFS{
+		offsets: make([]int32, n+1),
+		n:       n,
+		dist:    make([]int32, n),
+	}
+	for v := 0; v < n; v++ {
+		b.offsets[v+1] = b.offsets[v] + int32(len(adj[v]))
+	}
+	b.edges = make([]int32, b.offsets[n])
+	for v := 0; v < n; v++ {
+		copy(b.edges[b.offsets[v]:], adj[v])
+	}
+	for v := range b.dist {
+		b.dist[v] = bfsUnvisited
+	}
+	b.dist[0] = 0
+	b.frontier = []int32{0}
+	return b
+}
+
+// Name implements Kernel.
+func (b *BFS) Name() string { return "bfs" }
+
+// Items implements Kernel: one item per frontier vertex. The count changes
+// every level.
+func (b *BFS) Items() int { return len(b.frontier) }
+
+// Chunk expands frontier vertices [lo, hi), returning the chunk's share of
+// the next frontier.
+func (b *BFS) Chunk(lo, hi int) any {
+	checkRange("bfs", lo, hi, len(b.frontier))
+	next := make([]int32, 0, (hi-lo)*2)
+	newDist := b.level + 1
+	for _, v := range b.frontier[lo:hi] {
+		for _, w := range b.edges[b.offsets[v]:b.offsets[v+1]] {
+			// Claim the vertex; only one chunk wins.
+			if atomic.CompareAndSwapInt32(&b.dist[w], bfsUnvisited, newDist) {
+				next = append(next, w)
+			}
+		}
+	}
+	return next
+}
+
+// EndIteration concatenates the partial next frontiers and advances a
+// level. BFS ends when the frontier empties.
+func (b *BFS) EndIteration(partials []any) bool {
+	total := 0
+	for _, p := range partials {
+		total += len(p.([]int32))
+	}
+	next := make([]int32, 0, total)
+	for _, p := range partials {
+		next = append(next, p.([]int32)...)
+	}
+	b.frontier = next
+	b.level++
+	return len(b.frontier) > 0
+}
+
+// Level returns the number of completed expansion levels.
+func (b *BFS) Level() int { return int(b.level) }
+
+// Distance returns vertex v's BFS distance from the root, or -1 if
+// unreached.
+func (b *BFS) Distance(v int) int { return int(b.dist[v]) }
+
+// Reached returns the number of visited vertices.
+func (b *BFS) Reached() int {
+	n := 0
+	for _, d := range b.dist {
+		if d != bfsUnvisited {
+			n++
+		}
+	}
+	return n
+}
+
+// ReferenceDistances recomputes distances with a simple serial BFS over the
+// same graph, for verification.
+func (b *BFS) ReferenceDistances() []int32 {
+	dist := make([]int32, b.n)
+	for i := range dist {
+		dist[i] = bfsUnvisited
+	}
+	dist[0] = 0
+	queue := []int32{0}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range b.edges[b.offsets[v]:b.offsets[v+1]] {
+			if dist[w] == bfsUnvisited {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}

@@ -1,0 +1,130 @@
+package kernels
+
+import "fmt"
+
+// Hotspot is the Rodinia thermal stencil: a 2D grid of temperatures driven
+// by per-cell power density, relaxed one timestep per iteration. Rows are
+// the divisible items; the barrier at the end of each step is the paper's
+// hotspot iteration boundary.
+type Hotspot struct {
+	rows, cols int
+	steps      int
+	step       int
+
+	temp  []float64 // current temperatures
+	next  []float64 // next-step buffer
+	power []float64 // heat dissipation per cell
+
+	// Physical coefficients (Rodinia's single-step update weights).
+	cap, rx, ry, rz float64
+	ambient         float64
+}
+
+// NewHotspot builds a rows×cols grid with a synthetic power map containing
+// a few hot blocks (simulated functional units).
+func NewHotspot(rows, cols, steps int, seed uint64) *Hotspot {
+	if rows < 3 || cols < 3 || steps <= 0 {
+		panic(fmt.Sprintf("kernels: invalid hotspot shape %dx%d steps=%d", rows, cols, steps))
+	}
+	rng := newSplitMix64(seed)
+	h := &Hotspot{
+		rows:    rows,
+		cols:    cols,
+		steps:   steps,
+		temp:    make([]float64, rows*cols),
+		next:    make([]float64, rows*cols),
+		power:   make([]float64, rows*cols),
+		cap:     0.5,
+		rx:      1.0,
+		ry:      1.0,
+		rz:      30.0,
+		ambient: 80.0,
+	}
+	for i := range h.temp {
+		h.temp[i] = h.ambient
+	}
+	// A handful of hot rectangular blocks.
+	for b := 0; b < 6; b++ {
+		r0 := rng.intn(rows - rows/4)
+		c0 := rng.intn(cols - cols/4)
+		for r := r0; r < r0+rows/8+1 && r < rows; r++ {
+			for c := c0; c < c0+cols/8+1 && c < cols; c++ {
+				h.power[r*cols+c] = 2 + 4*rng.float64()
+			}
+		}
+	}
+	return h
+}
+
+// Name implements Kernel.
+func (h *Hotspot) Name() string { return "hotspot" }
+
+// Items implements Kernel: one item per grid row.
+func (h *Hotspot) Items() int { return h.rows }
+
+// Chunk relaxes rows [lo, hi) for the current timestep, reading the
+// current grid and writing the next buffer.
+func (h *Hotspot) Chunk(lo, hi int) any {
+	checkRange("hotspot", lo, hi, h.rows)
+	cols := h.cols
+	for r := lo; r < hi; r++ {
+		for c := 0; c < cols; c++ {
+			i := r*cols + c
+			t := h.temp[i]
+			up, down, left, right := t, t, t, t
+			if r > 0 {
+				up = h.temp[i-cols]
+			}
+			if r < h.rows-1 {
+				down = h.temp[i+cols]
+			}
+			if c > 0 {
+				left = h.temp[i-1]
+			}
+			if c < cols-1 {
+				right = h.temp[i+1]
+			}
+			delta := (h.power[i] +
+				(up+down-2*t)/h.ry +
+				(left+right-2*t)/h.rx +
+				(h.ambient-t)/h.rz) / h.cap
+			h.next[i] = t + 0.01*delta
+		}
+	}
+	return nil
+}
+
+// EndIteration swaps buffers and advances the timestep.
+func (h *Hotspot) EndIteration([]any) bool {
+	h.temp, h.next = h.next, h.temp
+	h.step++
+	return h.step < h.steps
+}
+
+// Step returns the number of completed timesteps.
+func (h *Hotspot) Step() int { return h.step }
+
+// Temperature returns the current temperature at (row, col).
+func (h *Hotspot) Temperature(row, col int) float64 {
+	return h.temp[row*h.cols+col]
+}
+
+// MaxTemperature returns the hottest cell.
+func (h *Hotspot) MaxTemperature() float64 {
+	m := h.temp[0]
+	for _, t := range h.temp {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// MeanTemperature returns the grid average.
+func (h *Hotspot) MeanTemperature() float64 {
+	sum := 0.0
+	for _, t := range h.temp {
+		sum += t
+	}
+	return sum / float64(len(h.temp))
+}

@@ -1,0 +1,159 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+)
+
+// KMeans is Lloyd's algorithm over synthetic clustered points. One
+// iteration assigns every point to its nearest centroid (the divisible
+// part) and recomputes centroids at the reduction point, exactly the
+// iteration structure the paper uses for its kmeans division case study.
+type KMeans struct {
+	points    []float64 // n × dim, row-major
+	n, k, dim int
+
+	centroids []float64 // k × dim
+	moved     float64
+	iter      int
+	maxIters  int
+	tolerance float64
+}
+
+// kmPartial accumulates per-cluster sums and counts for one chunk.
+type kmPartial struct {
+	sums   []float64 // k × dim
+	counts []int
+}
+
+// NewKMeans builds a clustered synthetic dataset with n points in dim
+// dimensions around k true centers, and initializes Lloyd's algorithm with
+// the first k points as centroids (the Rodinia initialization).
+func NewKMeans(n, k, dim, maxIters int, seed uint64) *KMeans {
+	if n <= 0 || k <= 0 || dim <= 0 || k > n {
+		panic(fmt.Sprintf("kernels: invalid kmeans shape n=%d k=%d dim=%d", n, k, dim))
+	}
+	rng := newSplitMix64(seed)
+	// The data has three times more latent blobs than requested
+	// centroids, so Lloyd's algorithm must group blobs and needs a
+	// non-trivial number of iterations to settle (a separable lattice
+	// with one blob per centroid converges in two steps — no use as a
+	// division demo or test).
+	latent := 3 * k
+	centers := make([]float64, latent*dim)
+	for i := range centers {
+		centers[i] = float64(rng.intn(10)) * 4
+	}
+	points := make([]float64, n*dim)
+	for p := 0; p < n; p++ {
+		c := p % latent
+		for d := 0; d < dim; d++ {
+			points[p*dim+d] = centers[c*dim+d] + rng.float64()*6 - 3
+		}
+	}
+	km := &KMeans{
+		points:    points,
+		n:         n,
+		k:         k,
+		dim:       dim,
+		maxIters:  maxIters,
+		tolerance: 1e-6,
+		centroids: make([]float64, k*dim),
+	}
+	copy(km.centroids, points[:k*dim])
+	return km
+}
+
+// Name implements Kernel.
+func (km *KMeans) Name() string { return "kmeans" }
+
+// Items implements Kernel: one item per point.
+func (km *KMeans) Items() int { return km.n }
+
+// Chunk assigns points [lo, hi) to their nearest centroids and returns the
+// partial per-cluster sums.
+func (km *KMeans) Chunk(lo, hi int) any {
+	checkRange("kmeans", lo, hi, km.n)
+	part := &kmPartial{
+		sums:   make([]float64, km.k*km.dim),
+		counts: make([]int, km.k),
+	}
+	for p := lo; p < hi; p++ {
+		best, bestD := 0, math.Inf(1)
+		for c := 0; c < km.k; c++ {
+			d := 0.0
+			for j := 0; j < km.dim; j++ {
+				diff := km.points[p*km.dim+j] - km.centroids[c*km.dim+j]
+				d += diff * diff
+			}
+			if d < bestD {
+				best, bestD = c, d
+			}
+		}
+		part.counts[best]++
+		for j := 0; j < km.dim; j++ {
+			part.sums[best*km.dim+j] += km.points[p*km.dim+j]
+		}
+	}
+	return part
+}
+
+// EndIteration merges partials into new centroids. It returns false when
+// centroids moved less than the tolerance or the iteration budget is spent.
+func (km *KMeans) EndIteration(partials []any) bool {
+	sums := make([]float64, km.k*km.dim)
+	counts := make([]int, km.k)
+	for _, p := range partials {
+		part := p.(*kmPartial)
+		for c := 0; c < km.k; c++ {
+			counts[c] += part.counts[c]
+			for j := 0; j < km.dim; j++ {
+				sums[c*km.dim+j] += part.sums[c*km.dim+j]
+			}
+		}
+	}
+	km.moved = 0
+	for c := 0; c < km.k; c++ {
+		if counts[c] == 0 {
+			continue // empty cluster keeps its centroid
+		}
+		for j := 0; j < km.dim; j++ {
+			nv := sums[c*km.dim+j] / float64(counts[c])
+			km.moved += math.Abs(nv - km.centroids[c*km.dim+j])
+			km.centroids[c*km.dim+j] = nv
+		}
+	}
+	km.iter++
+	return km.iter < km.maxIters && km.moved > km.tolerance
+}
+
+// Iteration returns the number of completed iterations.
+func (km *KMeans) Iteration() int { return km.iter }
+
+// Centroids returns the current centroids (k × dim, row-major).
+func (km *KMeans) Centroids() []float64 {
+	out := make([]float64, len(km.centroids))
+	copy(out, km.centroids)
+	return out
+}
+
+// Cost returns the clustering inertia: the total squared distance of every
+// point to its nearest centroid.
+func (km *KMeans) Cost() float64 {
+	total := 0.0
+	for p := 0; p < km.n; p++ {
+		best := math.Inf(1)
+		for c := 0; c < km.k; c++ {
+			d := 0.0
+			for j := 0; j < km.dim; j++ {
+				diff := km.points[p*km.dim+j] - km.centroids[c*km.dim+j]
+				d += diff * diff
+			}
+			if d < best {
+				best = d
+			}
+		}
+		total += best
+	}
+	return total
+}

@@ -1,0 +1,103 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+)
+
+// LUD is in-place LU decomposition (Doolittle, no pivoting) of a
+// diagonally dominant matrix, the Rodinia lud structure: iteration k
+// eliminates column k from the trailing rows (the divisible items), with a
+// barrier between columns.
+type LUD struct {
+	a    []float64 // n × n, decomposed in place
+	orig []float64 // kept for verification
+	n    int
+	k    int
+}
+
+// NewLUD builds a random diagonally dominant n×n matrix (so the
+// decomposition is numerically stable without pivoting).
+func NewLUD(n int, seed uint64) *LUD {
+	if n < 2 {
+		panic(fmt.Sprintf("kernels: invalid lud size n=%d", n))
+	}
+	rng := newSplitMix64(seed)
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		row := 0.0
+		for j := 0; j < n; j++ {
+			v := rng.float64()*2 - 1
+			a[i*n+j] = v
+			row += math.Abs(v)
+		}
+		a[i*n+i] = row + 1 // dominance
+	}
+	orig := make([]float64, len(a))
+	copy(orig, a)
+	return &LUD{a: a, orig: orig, n: n}
+}
+
+// Name implements Kernel.
+func (l *LUD) Name() string { return "lud" }
+
+// Items implements Kernel: the rows below the current pivot.
+func (l *LUD) Items() int { return l.n - l.k - 1 }
+
+// Chunk eliminates column k from trailing rows [lo, hi) (relative to the
+// first row below the pivot).
+func (l *LUD) Chunk(lo, hi int) any {
+	checkRange("lud", lo, hi, l.Items())
+	n, k := l.n, l.k
+	pivot := l.a[k*n+k]
+	for r := lo; r < hi; r++ {
+		i := k + 1 + r
+		factor := l.a[i*n+k] / pivot
+		l.a[i*n+k] = factor // store L
+		for j := k + 1; j < n; j++ {
+			l.a[i*n+j] -= factor * l.a[k*n+j]
+		}
+	}
+	return nil
+}
+
+// EndIteration advances to the next pivot column.
+func (l *LUD) EndIteration([]any) bool {
+	l.k++
+	return l.k < l.n-1
+}
+
+// Column returns the current pivot column index.
+func (l *LUD) Column() int { return l.k }
+
+// ResidualNorm reconstructs L·U and returns max|L·U − A|, the
+// verification metric.
+func (l *LUD) ResidualNorm() float64 {
+	n := l.n
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			// (L·U)[i][j] = Σ_k L[i][k]·U[k][j], L unit-diagonal.
+			sum := 0.0
+			kmax := i
+			if j < i {
+				kmax = j
+			}
+			for k := 0; k <= kmax; k++ {
+				lv := l.a[i*n+k]
+				if k == i {
+					lv = 1
+				}
+				var uv float64
+				if k <= j {
+					uv = l.a[k*n+j]
+				}
+				sum += lv * uv
+			}
+			if d := math.Abs(sum - l.orig[i*n+j]); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}

@@ -1,0 +1,131 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+)
+
+// NBody is the all-pairs gravitational simulation of the CUDA SDK demo.
+// Each timestep computes every body's acceleration against all bodies
+// (the divisible O(n²) part), then integrates at the barrier — a two-phase
+// update so chunked execution is deterministic regardless of the split.
+type NBody struct {
+	n     int
+	steps int
+	step  int
+
+	mass       []float64
+	pos        []float64 // n × 3
+	vel        []float64 // n × 3
+	newPos     []float64
+	newVel     []float64
+	dt         float64
+	softening2 float64
+}
+
+// NewNBody builds a cold Plummer-like sphere of n bodies.
+func NewNBody(n, steps int, seed uint64) *NBody {
+	if n <= 1 || steps <= 0 {
+		panic(fmt.Sprintf("kernels: invalid nbody shape n=%d steps=%d", n, steps))
+	}
+	rng := newSplitMix64(seed)
+	nb := &NBody{
+		n:          n,
+		steps:      steps,
+		mass:       make([]float64, n),
+		pos:        make([]float64, n*3),
+		vel:        make([]float64, n*3),
+		newPos:     make([]float64, n*3),
+		newVel:     make([]float64, n*3),
+		dt:         1e-4,
+		softening2: 1e-4,
+	}
+	for i := 0; i < n; i++ {
+		nb.mass[i] = 0.5 + rng.float64()
+		for d := 0; d < 3; d++ {
+			nb.pos[i*3+d] = rng.float64()*2 - 1
+			nb.vel[i*3+d] = (rng.float64()*2 - 1) * 0.01
+		}
+	}
+	return nb
+}
+
+// Name implements Kernel.
+func (nb *NBody) Name() string { return "nbody" }
+
+// Items implements Kernel: one item per body.
+func (nb *NBody) Items() int { return nb.n }
+
+// Chunk computes forces on bodies [lo, hi) against all bodies and writes
+// their integrated state into the next-step buffers.
+func (nb *NBody) Chunk(lo, hi int) any {
+	checkRange("nbody", lo, hi, nb.n)
+	for i := lo; i < hi; i++ {
+		var ax, ay, az float64
+		xi, yi, zi := nb.pos[i*3], nb.pos[i*3+1], nb.pos[i*3+2]
+		for j := 0; j < nb.n; j++ {
+			dx := nb.pos[j*3] - xi
+			dy := nb.pos[j*3+1] - yi
+			dz := nb.pos[j*3+2] - zi
+			d2 := dx*dx + dy*dy + dz*dz + nb.softening2
+			inv := 1 / (d2 * math.Sqrt(d2))
+			f := nb.mass[j] * inv
+			ax += dx * f
+			ay += dy * f
+			az += dz * f
+		}
+		nb.newVel[i*3] = nb.vel[i*3] + ax*nb.dt
+		nb.newVel[i*3+1] = nb.vel[i*3+1] + ay*nb.dt
+		nb.newVel[i*3+2] = nb.vel[i*3+2] + az*nb.dt
+		nb.newPos[i*3] = xi + nb.newVel[i*3]*nb.dt
+		nb.newPos[i*3+1] = yi + nb.newVel[i*3+1]*nb.dt
+		nb.newPos[i*3+2] = zi + nb.newVel[i*3+2]*nb.dt
+	}
+	return nil
+}
+
+// EndIteration commits the integrated state and advances the timestep.
+func (nb *NBody) EndIteration([]any) bool {
+	nb.pos, nb.newPos = nb.newPos, nb.pos
+	nb.vel, nb.newVel = nb.newVel, nb.vel
+	nb.step++
+	return nb.step < nb.steps
+}
+
+// Step returns the number of completed timesteps.
+func (nb *NBody) Step() int { return nb.step }
+
+// Energy returns the system's total mechanical energy (kinetic plus
+// gravitational potential), used by tests as a stability invariant.
+func (nb *NBody) Energy() float64 {
+	e := 0.0
+	for i := 0; i < nb.n; i++ {
+		v2 := nb.vel[i*3]*nb.vel[i*3] + nb.vel[i*3+1]*nb.vel[i*3+1] + nb.vel[i*3+2]*nb.vel[i*3+2]
+		e += 0.5 * nb.mass[i] * v2
+		for j := i + 1; j < nb.n; j++ {
+			dx := nb.pos[j*3] - nb.pos[i*3]
+			dy := nb.pos[j*3+1] - nb.pos[i*3+1]
+			dz := nb.pos[j*3+2] - nb.pos[i*3+2]
+			d := math.Sqrt(dx*dx + dy*dy + dz*dz + nb.softening2)
+			e -= nb.mass[i] * nb.mass[j] / d
+		}
+	}
+	return e
+}
+
+// CenterOfMassVelocity returns the mass-weighted mean velocity; momentum
+// conservation keeps it (nearly) constant.
+func (nb *NBody) CenterOfMassVelocity() [3]float64 {
+	var out [3]float64
+	total := 0.0
+	for i := 0; i < nb.n; i++ {
+		total += nb.mass[i]
+		for d := 0; d < 3; d++ {
+			out[d] += nb.mass[i] * nb.vel[i*3+d]
+		}
+	}
+	for d := 0; d < 3; d++ {
+		out[d] /= total
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package kernels
+
+import "fmt"
+
+// PathFinder is the Rodinia dynamic-programming grid walk: find the
+// cheapest path from the top row to the bottom row moving straight or
+// diagonally down. Each row is one iteration; the columns of a row are the
+// divisible items.
+type PathFinder struct {
+	rows, cols int
+	grid       []int32 // rows × cols costs
+	prev       []int64 // best cost to reach previous row's cells
+	next       []int64
+	row        int
+}
+
+// NewPathFinder builds a rows×cols cost grid.
+func NewPathFinder(rows, cols int, seed uint64) *PathFinder {
+	if rows < 2 || cols < 2 {
+		panic(fmt.Sprintf("kernels: invalid pathfinder shape %dx%d", rows, cols))
+	}
+	rng := newSplitMix64(seed)
+	p := &PathFinder{
+		rows: rows,
+		cols: cols,
+		grid: make([]int32, rows*cols),
+		prev: make([]int64, cols),
+		next: make([]int64, cols),
+	}
+	for i := range p.grid {
+		p.grid[i] = int32(rng.intn(10))
+	}
+	for c := 0; c < cols; c++ {
+		p.prev[c] = int64(p.grid[c])
+	}
+	p.row = 1
+	return p
+}
+
+// Name implements Kernel.
+func (p *PathFinder) Name() string { return "pathfinder" }
+
+// Items implements Kernel: one item per column.
+func (p *PathFinder) Items() int { return p.cols }
+
+// Chunk relaxes columns [lo, hi) of the current row from the previous row.
+func (p *PathFinder) Chunk(lo, hi int) any {
+	checkRange("pathfinder", lo, hi, p.cols)
+	for c := lo; c < hi; c++ {
+		best := p.prev[c]
+		if c > 0 && p.prev[c-1] < best {
+			best = p.prev[c-1]
+		}
+		if c < p.cols-1 && p.prev[c+1] < best {
+			best = p.prev[c+1]
+		}
+		p.next[c] = best + int64(p.grid[p.row*p.cols+c])
+	}
+	return nil
+}
+
+// EndIteration commits the row and moves down.
+func (p *PathFinder) EndIteration([]any) bool {
+	p.prev, p.next = p.next, p.prev
+	p.row++
+	return p.row < p.rows
+}
+
+// Row returns the next row to be relaxed.
+func (p *PathFinder) Row() int { return p.row }
+
+// BestCost returns the cheapest path cost once all rows are processed.
+func (p *PathFinder) BestCost() int64 {
+	best := p.prev[0]
+	for _, v := range p.prev[1:] {
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// ReferenceBestCost recomputes the answer with an independent serial DP,
+// for verification.
+func (p *PathFinder) ReferenceBestCost() int64 {
+	prev := make([]int64, p.cols)
+	next := make([]int64, p.cols)
+	for c := 0; c < p.cols; c++ {
+		prev[c] = int64(p.grid[c])
+	}
+	for r := 1; r < p.rows; r++ {
+		for c := 0; c < p.cols; c++ {
+			best := prev[c]
+			if c > 0 && prev[c-1] < best {
+				best = prev[c-1]
+			}
+			if c < p.cols-1 && prev[c+1] < best {
+				best = prev[c+1]
+			}
+			next[c] = best + int64(p.grid[r*p.cols+c])
+		}
+		prev, next = next, prev
+	}
+	best := prev[0]
+	for _, v := range prev[1:] {
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}

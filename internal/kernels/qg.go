@@ -1,0 +1,163 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+)
+
+// QG is the CUDA SDK quasirandomGenerator: generate Niederreiter-style
+// quasirandom points by direction-vector XOR composition, then map them
+// through the inverse cumulative normal distribution (the SDK's
+// inverseCND kernel). One iteration produces one batch of points; the
+// batch's points are the divisible items. The two stages mirror the SDK's
+// two kernels and give the workload its characteristic utilization swing
+// (table-driven bit work vs transcendental-heavy mapping).
+type QG struct {
+	dims      int
+	batch     int
+	batches   int
+	iter      int
+	direction []uint32  // dims × qgBits direction vectors
+	out       []float64 // batch × dims, gaussian-mapped
+	sumCheck  float64
+}
+
+// qgBits is the direction-vector depth (as in the SDK: 32-bit integers).
+const qgBits = 31
+
+// NewQG builds a generator for `batches` batches of `batch` points in
+// `dims` dimensions.
+func NewQG(batch, dims, batches int, seed uint64) *QG {
+	if batch <= 0 || dims <= 0 || batches <= 0 {
+		panic(fmt.Sprintf("kernels: invalid qg shape batch=%d dims=%d batches=%d", batch, dims, batches))
+	}
+	q := &QG{
+		dims:      dims,
+		batch:     batch,
+		batches:   batches,
+		direction: make([]uint32, dims*qgBits),
+		out:       make([]float64, batch*dims),
+	}
+	// Dimension 0 uses the van der Corput vectors (bit-reversal); higher
+	// dimensions perturb them with a deterministic polynomial mix, the
+	// structure (not the exact tables) of Niederreiter's construction.
+	rng := newSplitMix64(seed)
+	for d := 0; d < dims; d++ {
+		for b := 0; b < qgBits; b++ {
+			v := uint32(1) << (qgBits - 1 - b)
+			if d > 0 {
+				v ^= uint32(rng.next()) & (v - 1)
+			}
+			q.direction[d*qgBits+b] = v
+		}
+	}
+	return q
+}
+
+// Name implements Kernel.
+func (q *QG) Name() string { return "qg" }
+
+// Items implements Kernel: one item per point of the current batch.
+func (q *QG) Items() int { return q.batch }
+
+// qgPartial carries a chunk's checksum, so the merged result is
+// order-independent and testable.
+type qgPartial struct{ sum float64 }
+
+// Chunk generates points [lo, hi) of the current batch and maps them to
+// gaussians.
+func (q *QG) Chunk(lo, hi int) any {
+	checkRange("qg", lo, hi, q.batch)
+	base := q.iter * q.batch
+	part := &qgPartial{}
+	for p := lo; p < hi; p++ {
+		n := uint32(base + p + 1) // skip the all-zero point
+		for d := 0; d < q.dims; d++ {
+			// XOR-compose direction vectors over set bits.
+			var acc uint32
+			for b, bits := 0, n; bits != 0; b, bits = b+1, bits>>1 {
+				if bits&1 != 0 {
+					acc ^= q.direction[d*qgBits+b]
+				}
+			}
+			u := (float64(acc) + 0.5) / float64(uint32(1)<<qgBits)
+			g := inverseCND(u)
+			q.out[p*q.dims+d] = g
+			part.sum += g
+		}
+	}
+	return part
+}
+
+// EndIteration advances to the next batch.
+func (q *QG) EndIteration(partials []any) bool {
+	for _, p := range partials {
+		q.sumCheck += p.(*qgPartial).sum
+	}
+	q.iter++
+	return q.iter < q.batches
+}
+
+// Batch returns the number of completed batches.
+func (q *QG) Batch() int { return q.iter }
+
+// Checksum returns the running sum of all generated gaussians — near zero
+// for a well-balanced quasirandom sequence.
+func (q *QG) Checksum() float64 { return q.sumCheck }
+
+// Point returns coordinate d of point p of the last generated batch.
+func (q *QG) Point(p, d int) float64 { return q.out[p*q.dims+d] }
+
+// inverseCND is the Acklam rational approximation of the inverse
+// cumulative normal distribution, the same approximation the CUDA SDK
+// sample uses.
+func inverseCND(u float64) float64 {
+	const (
+		a1 = -39.6968302866538
+		a2 = 220.946098424521
+		a3 = -275.928510446969
+		a4 = 138.357751867269
+		a5 = -30.6647980661472
+		a6 = 2.50662827745924
+
+		b1 = -54.4760987982241
+		b2 = 161.585836858041
+		b3 = -155.698979859887
+		b4 = 66.8013118877197
+		b5 = -13.2806815528857
+
+		c1 = -7.78489400243029e-03
+		c2 = -0.322396458041136
+		c3 = -2.40075827716184
+		c4 = -2.54973253934373
+		c5 = 4.37466414146497
+		c6 = 2.93816398269878
+
+		d1 = 7.78469570904146e-03
+		d2 = 0.32246712907004
+		d3 = 2.445134137143
+		d4 = 3.75440866190742
+
+		low  = 0.02425
+		high = 1 - low
+	)
+	switch {
+	case u <= 0:
+		return math.Inf(-1)
+	case u >= 1:
+		return math.Inf(1)
+	case u < low:
+		z := math.Sqrt(-2 * math.Log(u))
+		return (((((c1*z+c2)*z+c3)*z+c4)*z+c5)*z + c6) /
+			((((d1*z+d2)*z+d3)*z+d4)*z + 1)
+	case u > high:
+		z := math.Sqrt(-2 * math.Log(1-u))
+		return -(((((c1*z+c2)*z+c3)*z+c4)*z+c5)*z + c6) /
+			((((d1*z+d2)*z+d3)*z+d4)*z + 1)
+	default:
+		z := u - 0.5
+		r := z * z
+		return (((((a1*r+a2)*r+a3)*r+a4)*r+a5)*r + a6) * z /
+			(((((b1*r+b2)*r+b3)*r+b4)*r+b5)*r + 1)
+	}
+}

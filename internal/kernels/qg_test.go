@@ -1,0 +1,124 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQGRunsAllBatches(t *testing.T) {
+	q := NewQG(512, 3, 8, 1)
+	iters := RunSerial(q)
+	if iters != 8 || q.Batch() != 8 {
+		t.Errorf("ran %d batches (Batch()=%d), want 8", iters, q.Batch())
+	}
+}
+
+func TestQGGaussianMoments(t *testing.T) {
+	// A quasirandom gaussian stream must have near-zero mean and
+	// near-unit variance — far tighter than pseudorandom at the same N.
+	q := NewQG(4096, 1, 1, 1)
+	RunSerial(q)
+	n := 4096
+	var sum, sum2 float64
+	for p := 0; p < n; p++ {
+		v := q.Point(p, 0)
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / float64(n)
+	variance := sum2/float64(n) - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("variance = %v, want ~1", variance)
+	}
+}
+
+func TestQGLowDiscrepancyBeatsRandomSpacing(t *testing.T) {
+	// Dimension 0 is the van der Corput sequence: the first 2^k points,
+	// mapped back through the CND, must hit 2^k distinct equal-width
+	// uniform strata. We verify via the empirical CDF's max deviation
+	// (star discrepancy proxy) being O(1/n) rather than O(1/sqrt(n)).
+	const n = 1024
+	q := NewQG(n, 1, 1, 1)
+	RunSerial(q)
+	us := make([]float64, n)
+	for p := 0; p < n; p++ {
+		us[p] = cnd(q.Point(p, 0))
+	}
+	// Empirical discrepancy over a grid.
+	worst := 0.0
+	for g := 1; g <= 64; g++ {
+		thr := float64(g) / 64
+		count := 0
+		for _, u := range us {
+			if u < thr {
+				count++
+			}
+		}
+		d := math.Abs(float64(count)/n - thr)
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst > 8.0/n {
+		t.Errorf("discrepancy %v too high for a low-discrepancy sequence (want <= %v)", worst, 8.0/n)
+	}
+}
+
+// cnd is the standard normal CDF (for testing the inverse).
+func cnd(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+func TestInverseCNDRoundTrip(t *testing.T) {
+	for _, u := range []float64{0.001, 0.02, 0.2, 0.5, 0.8, 0.98, 0.999} {
+		x := inverseCND(u)
+		back := cnd(x)
+		if math.Abs(back-u) > 1e-6 {
+			t.Errorf("cnd(inverseCND(%v)) = %v", u, back)
+		}
+	}
+	if !math.IsInf(inverseCND(0), -1) || !math.IsInf(inverseCND(1), 1) {
+		t.Error("boundary values should map to ±Inf")
+	}
+}
+
+func TestQGChunkInvariance(t *testing.T) {
+	a := NewQG(1000, 2, 4, 7)
+	b := NewQG(1000, 2, 4, 7)
+	RunSerial(a)
+	runChunked(b, 7)
+	if math.Abs(a.Checksum()-b.Checksum()) > 1e-9 {
+		t.Errorf("checksums differ: %v vs %v", a.Checksum(), b.Checksum())
+	}
+}
+
+func TestQGBadShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewQG(0, 1, 1, 1)
+}
+
+// Property: inverseCND is monotone increasing on (0,1).
+func TestInverseCNDMonotoneProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		u1 := (float64(a) + 1) / 65538
+		u2 := (float64(b) + 1) / 65538
+		if u1 > u2 {
+			u1, u2 = u2, u1
+		}
+		if u1 == u2 {
+			return true
+		}
+		return inverseCND(u1) < inverseCND(u2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,163 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+)
+
+// StreamCluster is the gain-evaluation core of the streamcluster online
+// clustering benchmark: each iteration proposes one candidate facility and
+// evaluates, over all points (the divisible items), how much total cost
+// opening it would save; the open/reject decision happens at the barrier.
+type StreamCluster struct {
+	points []float64 // n × dim
+	weight []float64
+	n, dim int
+
+	centers    []int     // open facility indices
+	assign     []int     // point -> index into centers
+	assignCost []float64 // point -> cost to its center
+
+	openCost   float64
+	candidates []int
+	iter       int
+}
+
+// scPartial carries one chunk's gain sum and the points that would switch.
+type scPartial struct {
+	gain     float64
+	switches []int
+}
+
+// NewStreamCluster builds n weighted points in dim dimensions around a few
+// latent clusters, opens point 0 as the first facility, and prepares a
+// deterministic candidate schedule of the given length.
+func NewStreamCluster(n, dim, iterations int, seed uint64) *StreamCluster {
+	if n < 2 || dim <= 0 || iterations <= 0 {
+		panic(fmt.Sprintf("kernels: invalid streamcluster shape n=%d dim=%d iters=%d", n, dim, iterations))
+	}
+	rng := newSplitMix64(seed)
+	sc := &StreamCluster{
+		points:     make([]float64, n*dim),
+		weight:     make([]float64, n),
+		n:          n,
+		dim:        dim,
+		assign:     make([]int, n),
+		assignCost: make([]float64, n),
+		openCost:   float64(dim) * 5,
+	}
+	latent := 8
+	for p := 0; p < n; p++ {
+		c := p % latent
+		sc.weight[p] = 0.5 + rng.float64()
+		for d := 0; d < dim; d++ {
+			sc.points[p*dim+d] = float64(c*7) + rng.float64()*2 - 1
+		}
+	}
+	sc.centers = []int{0}
+	for p := 0; p < n; p++ {
+		sc.assign[p] = 0
+		sc.assignCost[p] = sc.weight[p] * sc.dist2(p, 0)
+	}
+	sc.candidates = make([]int, iterations)
+	for i := range sc.candidates {
+		sc.candidates[i] = rng.intn(n)
+	}
+	return sc
+}
+
+func (sc *StreamCluster) dist2(p, q int) float64 {
+	d := 0.0
+	for j := 0; j < sc.dim; j++ {
+		diff := sc.points[p*sc.dim+j] - sc.points[q*sc.dim+j]
+		d += diff * diff
+	}
+	return d
+}
+
+// Name implements Kernel.
+func (sc *StreamCluster) Name() string { return "streamcluster" }
+
+// Items implements Kernel: one item per point.
+func (sc *StreamCluster) Items() int { return sc.n }
+
+// Chunk evaluates the current candidate facility against points [lo, hi),
+// returning the gain contribution and the points that would reassign.
+func (sc *StreamCluster) Chunk(lo, hi int) any {
+	checkRange("streamcluster", lo, hi, sc.n)
+	cand := sc.candidates[sc.iter]
+	part := &scPartial{}
+	for p := lo; p < hi; p++ {
+		candCost := sc.weight[p] * sc.dist2(p, cand)
+		if candCost < sc.assignCost[p] {
+			part.gain += sc.assignCost[p] - candCost
+			part.switches = append(part.switches, p)
+		}
+	}
+	return part
+}
+
+// EndIteration opens the candidate if its total gain beats the facility
+// opening cost, reassigning the switching points.
+func (sc *StreamCluster) EndIteration(partials []any) bool {
+	cand := sc.candidates[sc.iter]
+	gain := 0.0
+	var switches []int
+	for _, p := range partials {
+		part := p.(*scPartial)
+		gain += part.gain
+		switches = append(switches, part.switches...)
+	}
+	if gain > sc.openCost && !sc.isCenter(cand) {
+		idx := len(sc.centers)
+		sc.centers = append(sc.centers, cand)
+		for _, p := range switches {
+			sc.assign[p] = idx
+			sc.assignCost[p] = sc.weight[p] * sc.dist2(p, cand)
+		}
+	}
+	sc.iter++
+	return sc.iter < len(sc.candidates)
+}
+
+func (sc *StreamCluster) isCenter(p int) bool {
+	for _, c := range sc.centers {
+		if c == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Iteration returns the number of completed gain evaluations.
+func (sc *StreamCluster) Iteration() int { return sc.iter }
+
+// Centers returns the currently open facilities.
+func (sc *StreamCluster) Centers() []int {
+	out := make([]int, len(sc.centers))
+	copy(out, sc.centers)
+	return out
+}
+
+// TotalCost returns the assignment cost plus facility costs — the online
+// clustering objective. It must be non-increasing per accepted candidate.
+func (sc *StreamCluster) TotalCost() float64 {
+	cost := float64(len(sc.centers)) * sc.openCost
+	for p := 0; p < sc.n; p++ {
+		cost += sc.assignCost[p]
+	}
+	return cost
+}
+
+// MaxAssignError verifies that every point's recorded assignment cost
+// matches a recomputation — a consistency invariant for the chunked path.
+func (sc *StreamCluster) MaxAssignError() float64 {
+	worst := 0.0
+	for p := 0; p < sc.n; p++ {
+		want := sc.weight[p] * sc.dist2(p, sc.centers[sc.assign[p]])
+		if d := math.Abs(want - sc.assignCost[p]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

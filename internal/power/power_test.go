@@ -1,0 +1,225 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"greengpu/internal/sim"
+	"greengpu/internal/units"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig("m1")
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	if good.Interval != time.Second || good.Resolution != 0.1 {
+		t.Errorf("DefaultConfig = %+v", good)
+	}
+	bad := good
+	bad.Interval = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero interval accepted")
+	}
+	bad = good
+	bad.Resolution = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative resolution accepted")
+	}
+}
+
+func TestNilSourcePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMeter(sim.New(), DefaultConfig("x"), nil)
+}
+
+func TestSamplingCadence(t *testing.T) {
+	e := sim.New()
+	m := NewMeter(e, Config{Name: "m", Interval: time.Second}, func() units.Power { return 100 })
+	m.Start()
+	e.RunUntil(5 * time.Second)
+	s := m.Samples()
+	if len(s) != 6 { // t=0,1,2,3,4,5
+		t.Fatalf("got %d samples, want 6", len(s))
+	}
+	for i, smp := range s {
+		if smp.At != time.Duration(i)*time.Second {
+			t.Errorf("sample %d at %v", i, smp.At)
+		}
+		if smp.Power != 100 {
+			t.Errorf("sample %d power = %v", i, smp.Power)
+		}
+	}
+}
+
+func TestStartStopIdempotent(t *testing.T) {
+	e := sim.New()
+	m := NewMeter(e, Config{Name: "m", Interval: time.Second}, func() units.Power { return 1 })
+	if m.Running() {
+		t.Error("meter born running")
+	}
+	m.Start()
+	m.Start() // no-op
+	if !m.Running() {
+		t.Error("meter not running after Start")
+	}
+	e.RunUntil(2 * time.Second)
+	m.Stop()
+	m.Stop() // no-op
+	if m.Running() {
+		t.Error("meter running after Stop")
+	}
+	n := len(m.Samples())
+	e.RunUntil(10 * time.Second)
+	if len(m.Samples()) != n {
+		t.Error("meter sampled after Stop")
+	}
+}
+
+func TestQuantization(t *testing.T) {
+	e := sim.New()
+	m := NewMeter(e, Config{Name: "m", Interval: time.Second, Resolution: 0.1},
+		func() units.Power { return 112.5678 })
+	m.Start()
+	e.RunUntil(time.Second)
+	for _, s := range m.Samples() {
+		if math.Abs(s.Power.Watts()-112.6) > 1e-9 {
+			t.Errorf("quantized sample = %v, want 112.6", s.Power)
+		}
+	}
+}
+
+func TestEnergyTrapezoid(t *testing.T) {
+	e := sim.New()
+	level := units.Power(100)
+	m := NewMeter(e, Config{Name: "m", Interval: time.Second}, func() units.Power { return level })
+	m.Start()
+	e.RunUntil(2 * time.Second)
+	level = 200
+	e.RunUntil(4 * time.Second)
+	// Samples: 100,100,100,200,200 at t=0..4.
+	// Trapezoid: 100+100+150+200 = 550 J.
+	if got := m.Energy().Joules(); math.Abs(got-550) > 1e-9 {
+		t.Errorf("Energy = %v J, want 550", got)
+	}
+}
+
+func TestEnergyFewSamples(t *testing.T) {
+	e := sim.New()
+	m := NewMeter(e, Config{Name: "m", Interval: time.Second}, func() units.Power { return 100 })
+	if m.Energy() != 0 {
+		t.Error("Energy with no samples should be 0")
+	}
+	m.Start() // one sample at t=0
+	if m.Energy() != 0 {
+		t.Error("Energy with one sample should be 0")
+	}
+}
+
+func TestAverageAndPeak(t *testing.T) {
+	e := sim.New()
+	vals := []units.Power{100, 200, 300}
+	i := 0
+	m := NewMeter(e, Config{Name: "m", Interval: time.Second}, func() units.Power {
+		v := vals[i%len(vals)]
+		i++
+		return v
+	})
+	m.Start()
+	e.RunUntil(2 * time.Second)
+	if got := m.AveragePower(); math.Abs(got.Watts()-200) > 1e-9 {
+		t.Errorf("AveragePower = %v, want 200", got)
+	}
+	if got := m.PeakPower(); got != 300 {
+		t.Errorf("PeakPower = %v, want 300", got)
+	}
+}
+
+func TestEmptyStats(t *testing.T) {
+	m := NewMeter(sim.New(), Config{Name: "m", Interval: time.Second}, func() units.Power { return 1 })
+	if m.AveragePower() != 0 || m.PeakPower() != 0 {
+		t.Error("stats on empty trace should be 0")
+	}
+}
+
+func TestReset(t *testing.T) {
+	e := sim.New()
+	m := NewMeter(e, Config{Name: "m", Interval: time.Second}, func() units.Power { return 1 })
+	m.Start()
+	e.RunUntil(3 * time.Second)
+	m.Reset()
+	if len(m.Samples()) != 0 {
+		t.Error("Reset kept samples")
+	}
+}
+
+func TestIntegrateTrapezoidDisorderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	IntegrateTrapezoid([]Sample{{At: 2 * time.Second}, {At: time.Second}})
+}
+
+func TestSum(t *testing.T) {
+	src := Sum(
+		func() units.Power { return 10 },
+		func() units.Power { return 32 },
+	)
+	if got := src(); got != 42 {
+		t.Errorf("Sum = %v, want 42", got)
+	}
+	if got := Sum()(); got != 0 {
+		t.Errorf("empty Sum = %v, want 0", got)
+	}
+}
+
+// Property: for a constant source, sampled energy matches exact P·t.
+func TestConstantSourceEnergyProperty(t *testing.T) {
+	f := func(p uint8, secs uint8) bool {
+		if secs < 2 {
+			return true
+		}
+		e := sim.New()
+		pw := units.Power(p)
+		m := NewMeter(e, Config{Name: "m", Interval: time.Second}, func() units.Power { return pw })
+		m.Start()
+		d := time.Duration(secs) * time.Second
+		e.RunUntil(d)
+		want := pw.Over(d)
+		return math.Abs(float64(m.Energy()-want)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: trapezoid integration is non-negative for non-negative traces
+// and additive across a split.
+func TestTrapezoidAdditivityProperty(t *testing.T) {
+	f := func(powers []uint8) bool {
+		if len(powers) < 3 {
+			return true
+		}
+		samples := make([]Sample, len(powers))
+		for i, p := range powers {
+			samples[i] = Sample{At: time.Duration(i) * time.Second, Power: units.Power(p)}
+		}
+		whole := IntegrateTrapezoid(samples)
+		k := len(samples) / 2
+		// Split traces share the boundary sample.
+		left := IntegrateTrapezoid(samples[:k+1])
+		right := IntegrateTrapezoid(samples[k:])
+		return whole >= 0 && math.Abs(float64(whole-(left+right))) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

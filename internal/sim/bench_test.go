@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEventThroughput measures the engine's raw schedule/fire rate —
+// the floor cost of every simulated state transition.
+func BenchmarkEventThroughput(b *testing.B) {
+	e := New()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.Now()+time.Microsecond, "b", func() {})
+		e.Step()
+	}
+}
+
+// BenchmarkTicker measures a periodic controller's steady-state cost.
+func BenchmarkTicker(b *testing.B) {
+	e := New()
+	e.Every(time.Second, "tick", func() {})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkCancel measures mid-heap cancellation, the hot path of DVFS
+// re-timing in-flight kernel phases.
+func BenchmarkCancel(b *testing.B) {
+	e := New()
+	evs := make([]*Event, 0, 1024)
+	for i := 0; i < b.N; i++ {
+		if len(evs) == 0 {
+			for j := 0; j < 1024; j++ {
+				evs = append(evs, e.Schedule(e.Now()+time.Duration(j+1)*time.Millisecond, "c", func() {}))
+			}
+		}
+		e.Cancel(evs[len(evs)-1])
+		evs = evs[:len(evs)-1]
+	}
+}

@@ -1,0 +1,218 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and an event queue ordered by
+// activation time. Events scheduled for the same instant fire in the order
+// they were scheduled (FIFO tie-breaking by sequence number), which makes
+// every simulation run exactly reproducible.
+//
+// The GreenGPU testbed is built entirely on this engine: devices advance
+// their internal state lazily when observed, and controllers (the DVFS tier,
+// the ondemand governor, the workload-division tier) run as periodic events.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// MaxTime is the largest representable simulation instant.
+const MaxTime = time.Duration(math.MaxInt64)
+
+// Engine is a discrete-event simulator. The zero value is ready to use and
+// starts at time zero. An Engine must not be shared between goroutines.
+type Engine struct {
+	now     time.Duration
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+}
+
+// New returns a new Engine with its clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Pending returns the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	at    time.Duration
+	seq   uint64
+	name  string
+	fn    func()
+	index int // heap index, -1 once fired or cancelled
+}
+
+// Time returns the instant the event is (or was) scheduled to fire.
+func (ev *Event) Time() time.Duration { return ev.at }
+
+// Name returns the diagnostic label given at scheduling time.
+func (ev *Event) Name() string { return ev.name }
+
+// Scheduled reports whether the event is still pending.
+func (ev *Event) Scheduled() bool { return ev.index >= 0 }
+
+// Schedule registers fn to run at absolute simulation time at. Scheduling in
+// the past (before Now) panics: it would silently corrupt causality.
+func (e *Engine) Schedule(at time.Duration, name string, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v which is before now %v", name, at, e.now))
+	}
+	if fn == nil {
+		panic("sim: Schedule with nil callback")
+	}
+	ev := &Event{at: at, seq: e.seq, name: name, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After registers fn to run d after the current time. Delays that would
+// overflow the simulation clock saturate at MaxTime (an event effectively
+// beyond any run's horizon) instead of wrapping into the past.
+func (e *Engine) After(d time.Duration, name string, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: After(%v) with negative delay", d))
+	}
+	at := e.now + d
+	if at < e.now { // int64 overflow
+		at = MaxTime
+	}
+	return e.Schedule(at, name, fn)
+}
+
+// Cancel removes the event from the queue. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+}
+
+// Step fires the single earliest pending event, advancing the clock to its
+// activation time. It reports whether an event was processed.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	ev.index = -1
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run processes events until the queue is empty or Stop is called.
+// It returns the number of events processed.
+func (e *Engine) Run() int {
+	e.stopped = false
+	n := 0
+	for !e.stopped && e.Step() {
+		n++
+	}
+	return n
+}
+
+// RunUntil processes events with activation time <= t, then advances the
+// clock to exactly t (even if no event fired). It returns the number of
+// events processed.
+func (e *Engine) RunUntil(t time.Duration) int {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: RunUntil(%v) is before now %v", t, e.now))
+	}
+	e.stopped = false
+	n := 0
+	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= t {
+		e.Step()
+		n++
+	}
+	if !e.stopped && e.now < t {
+		e.now = t
+	}
+	return n
+}
+
+// Stop makes the innermost Run or RunUntil return after the current event
+// completes. It is intended to be called from inside an event callback.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Ticker fires a callback at a fixed period until stopped.
+type Ticker struct {
+	engine  *Engine
+	period  time.Duration
+	name    string
+	fn      func()
+	ev      *Event
+	stopped bool
+}
+
+// Every schedules fn to run every period, with the first firing one full
+// period from now. The period must be positive.
+func (e *Engine) Every(period time.Duration, name string, fn func()) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: Every(%v) with non-positive period", period))
+	}
+	t := &Ticker{engine: e, period: period, name: name, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.engine.After(t.period, t.name, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future firings. A tick already being processed completes.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.engine.Cancel(t.ev)
+}
+
+// Period returns the ticker's firing period.
+func (t *Ticker) Period() time.Duration { return t.period }
+
+// eventHeap is a min-heap on (at, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,327 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	e.Schedule(3*time.Second, "c", func() { got = append(got, 3) })
+	e.Schedule(1*time.Second, "a", func() { got = append(got, 1) })
+	e.Schedule(2*time.Second, "b", func() { got = append(got, 2) })
+	if n := e.Run(); n != 3 {
+		t.Fatalf("Run processed %d events, want 3", n)
+	}
+	for i, v := range []int{1, 2, 3} {
+		if got[i] != v {
+			t.Fatalf("order = %v, want [1 2 3]", got)
+		}
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("Now = %v, want 3s", e.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	e := New()
+	var got []string
+	at := 5 * time.Second
+	for _, name := range []string{"first", "second", "third", "fourth"} {
+		name := name
+		e.Schedule(at, name, func() { got = append(got, name) })
+	}
+	e.Run()
+	want := []string{"first", "second", "third", "fourth"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tie-break order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(time.Second, "x", func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	e.Schedule(500*time.Millisecond, "past", func() {})
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nil callback")
+		}
+	}()
+	e.Schedule(time.Second, "nil", nil)
+}
+
+func TestAfterNegativePanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative After")
+		}
+	}()
+	e.After(-time.Second, "neg", func() {})
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.Schedule(time.Second, "x", func() { fired = true })
+	if !ev.Scheduled() {
+		t.Fatal("event should be scheduled")
+	}
+	e.Cancel(ev)
+	if ev.Scheduled() {
+		t.Fatal("event should not be scheduled after cancel")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Double-cancel and nil-cancel are no-ops.
+	e.Cancel(ev)
+	e.Cancel(nil)
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := New()
+	var got []int
+	evs := make([]*Event, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		evs[i] = e.Schedule(time.Duration(i+1)*time.Second, "n", func() { got = append(got, i) })
+	}
+	e.Cancel(evs[4])
+	e.Cancel(evs[7])
+	e.Run()
+	want := []int{0, 1, 2, 3, 5, 6, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var fired []time.Duration
+	for _, d := range []time.Duration{1, 2, 3, 4, 5} {
+		d := d * time.Second
+		e.Schedule(d, "x", func() { fired = append(fired, d) })
+	}
+	n := e.RunUntil(3 * time.Second)
+	if n != 3 {
+		t.Fatalf("RunUntil processed %d, want 3", n)
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("Now = %v, want 3s", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", e.Pending())
+	}
+	// Advancing to a time with no events still moves the clock.
+	e2 := New()
+	e2.RunUntil(10 * time.Second)
+	if e2.Now() != 10*time.Second {
+		t.Errorf("empty RunUntil Now = %v", e2.Now())
+	}
+}
+
+func TestRunUntilPastPanics(t *testing.T) {
+	e := New()
+	e.RunUntil(5 * time.Second)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for RunUntil in the past")
+		}
+	}()
+	e.RunUntil(time.Second)
+}
+
+func TestStopInsideCallback(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		e.Schedule(time.Duration(i)*time.Second, "x", func() {
+			count++
+			if count == 2 {
+				e.Stop()
+			}
+		})
+	}
+	n := e.Run()
+	if n != 2 || count != 2 {
+		t.Fatalf("Run stopped after %d events (count %d), want 2", n, count)
+	}
+	// A subsequent Run resumes.
+	n = e.Run()
+	if n != 3 {
+		t.Fatalf("resumed Run processed %d, want 3", n)
+	}
+}
+
+func TestSchedulingFromCallback(t *testing.T) {
+	e := New()
+	var got []time.Duration
+	e.Schedule(time.Second, "a", func() {
+		got = append(got, e.Now())
+		e.After(2*time.Second, "b", func() { got = append(got, e.Now()) })
+	})
+	e.Run()
+	if len(got) != 2 || got[0] != time.Second || got[1] != 3*time.Second {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := New()
+	var ticks []time.Duration
+	tk := e.Every(3*time.Second, "tick", func() {
+		ticks = append(ticks, e.Now())
+	})
+	e.RunUntil(10 * time.Second)
+	if len(ticks) != 3 {
+		t.Fatalf("got %d ticks, want 3: %v", len(ticks), ticks)
+	}
+	for i, want := range []time.Duration{3 * time.Second, 6 * time.Second, 9 * time.Second} {
+		if ticks[i] != want {
+			t.Errorf("tick %d at %v, want %v", i, ticks[i], want)
+		}
+	}
+	tk.Stop()
+	before := len(ticks)
+	e.RunUntil(30 * time.Second)
+	if len(ticks) != before {
+		t.Errorf("ticker fired after Stop")
+	}
+	if tk.Period() != 3*time.Second {
+		t.Errorf("Period = %v", tk.Period())
+	}
+}
+
+func TestTickerStopFromInsideTick(t *testing.T) {
+	e := New()
+	count := 0
+	var tk *Ticker
+	tk = e.Every(time.Second, "tick", func() {
+		count++
+		if count == 2 {
+			tk.Stop()
+		}
+	})
+	e.RunUntil(10 * time.Second)
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+}
+
+func TestTickerZeroPeriodPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero period")
+		}
+	}()
+	e.Every(0, "bad", func() {})
+}
+
+func TestEventAccessors(t *testing.T) {
+	e := New()
+	ev := e.Schedule(7*time.Second, "probe", func() {})
+	if ev.Time() != 7*time.Second {
+		t.Errorf("Time = %v", ev.Time())
+	}
+	if ev.Name() != "probe" {
+		t.Errorf("Name = %q", ev.Name())
+	}
+}
+
+// Property: for any multiset of schedule times, events fire in sorted order
+// and the clock is monotone non-decreasing.
+func TestOrderingProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := New()
+		var fired []time.Duration
+		for _, d := range delays {
+			at := time.Duration(d) * time.Millisecond
+			e.Schedule(at, "x", func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		sorted := make([]time.Duration, len(delays))
+		for i, d := range delays {
+			sorted[i] = time.Duration(d) * time.Millisecond
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i := range fired {
+			if fired[i] != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RunUntil(t1) then RunUntil(t2>=t1) is equivalent to RunUntil(t2).
+func TestRunUntilSplitProperty(t *testing.T) {
+	f := func(delays []uint8, split uint8) bool {
+		run := func(splitAt bool) []time.Duration {
+			e := New()
+			var fired []time.Duration
+			for _, d := range delays {
+				at := time.Duration(d) * time.Millisecond
+				e.Schedule(at, "x", func() { fired = append(fired, e.Now()) })
+			}
+			end := 300 * time.Millisecond
+			if splitAt {
+				e.RunUntil(time.Duration(split) * time.Millisecond)
+				e.RunUntil(end)
+			} else {
+				e.RunUntil(end)
+			}
+			return fired
+		}
+		a, b := run(true), run(false)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAfterSaturatesOnOverflow(t *testing.T) {
+	e := New()
+	e.RunUntil(time.Hour)
+	ev := e.After(MaxTime, "far", func() {})
+	if ev.Time() != MaxTime {
+		t.Errorf("overflowing After scheduled at %v, want MaxTime", ev.Time())
+	}
+}

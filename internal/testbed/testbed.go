@@ -1,0 +1,260 @@
+// Package testbed assembles the simulated equivalent of the GreenGPU
+// hardware testbed (paper §VI, Fig. 4): a Dell Optiplex 580-class desktop
+// with an Nvidia GeForce 8800 GTX GPU and a dual-core AMD Phenom II X2
+// processor, instrumented by two Wattsup Pro-style power meters — meter 1 on
+// the CPU side of the box (motherboard, disk, main memory, processor) and
+// meter 2 on the dedicated ATX supply feeding the GPU card.
+//
+// All constants are calibrated to public figures for the parts: the
+// 8800 GTX's 128 stream processors, 576 MHz peak core clock, 900 MHz GDDR3
+// clock and 86.4 GB/s rated bandwidth (the paper's exact memory ladder
+// 900/820/740/660/580/500 MHz and a matching equal-distance core ladder
+// whose lowest level reproduces the paper's quoted 410 MHz operating
+// point); the Phenom II X2's 2.8/2.1/1.3/0.8 GHz P-states; and wall-power
+// envelopes in the ranges the two meters would report for these parts.
+// Absolute watts are model parameters — the experiments reproduce shapes
+// and orderings, not the authors' exact instrument readings.
+package testbed
+
+import (
+	"time"
+
+	"greengpu/internal/bus"
+	"greengpu/internal/cpusim"
+	"greengpu/internal/gpusim"
+	"greengpu/internal/power"
+	"greengpu/internal/sim"
+	"greengpu/internal/units"
+)
+
+// GeForce8800GTX returns the GPU configuration of the testbed card.
+func GeForce8800GTX() gpusim.Config {
+	return gpusim.Config{
+		Name:     "GeForce 8800 GTX",
+		SMs:      16,
+		SPsPerSM: 8,
+		IPC:      2, // MAD per SP per clock
+		CoreLevels: []units.Frequency{
+			411 * units.Megahertz, // the paper's quoted 410 MHz level
+			444 * units.Megahertz,
+			477 * units.Megahertz,
+			510 * units.Megahertz,
+			543 * units.Megahertz,
+			576 * units.Megahertz,
+		},
+		MemLevels: []units.Frequency{
+			500 * units.Megahertz,
+			580 * units.Megahertz,
+			660 * units.Megahertz,
+			740 * units.Megahertz,
+			820 * units.Megahertz,
+			900 * units.Megahertz,
+		},
+		// 384-bit GDDR3, double-pumped: 96 B per memory-clock cycle,
+		// 86.4 GB/s at 900 MHz.
+		BytesPerMemCycle: 96,
+		OverlapGamma:     0.15,
+		// The split reflects the G80 generation's power profile as the
+		// wall meter sees it: a large frequency-independent board floor
+		// plus clock-tree power that scales with frequency even when
+		// idle (the card idles hot), and comparatively modest
+		// utilization-proportional switching terms. This is what makes
+		// Fig. 6b's "dynamic energy" (runtime minus idle) a small slice
+		// of total energy, as the paper reports.
+		Power: gpusim.PowerParams{
+			Board:         42, // ATX supply losses, fans, board logic
+			CoreClockTree: 38,
+			CoreDynamic:   28,
+			MemClockTree:  24,
+			MemDynamic:    16,
+		},
+	}
+}
+
+// GTX280 returns a GTX 280-class GPU configuration: the next GeForce
+// generation after the testbed card (30 SMs × 8 SPs, 602 MHz peak core,
+// 512-bit GDDR3 at 1100 MHz ≈ 140.8 GB/s) with a proportionally heavier
+// power envelope (~236 W TDP class). Used by the portability extension
+// study to show the GreenGPU algorithms transfer across devices.
+func GTX280() gpusim.Config {
+	return gpusim.Config{
+		Name:     "GTX 280-class",
+		SMs:      30,
+		SPsPerSM: 8,
+		IPC:      2,
+		CoreLevels: []units.Frequency{
+			402 * units.Megahertz,
+			442 * units.Megahertz,
+			482 * units.Megahertz,
+			522 * units.Megahertz,
+			562 * units.Megahertz,
+			602 * units.Megahertz,
+		},
+		MemLevels: []units.Frequency{
+			600 * units.Megahertz,
+			700 * units.Megahertz,
+			800 * units.Megahertz,
+			900 * units.Megahertz,
+			1000 * units.Megahertz,
+			1100 * units.Megahertz,
+		},
+		BytesPerMemCycle: 128, // 512-bit GDDR3, double-pumped
+		OverlapGamma:     0.15,
+		Power: gpusim.PowerParams{
+			Board:         55,
+			CoreClockTree: 50,
+			CoreDynamic:   45,
+			MemClockTree:  32,
+			MemDynamic:    28,
+		},
+	}
+}
+
+// PhenomIIX2 returns the CPU configuration of the testbed processor.
+func PhenomIIX2() cpusim.Config {
+	return cpusim.Config{
+		Name:  "AMD Phenom II X2",
+		Cores: 2,
+		IPC:   3,
+		PStates: []cpusim.PState{
+			{Frequency: 800 * units.Megahertz, Voltage: 1.000},
+			{Frequency: 1300 * units.Megahertz, Voltage: 1.075},
+			{Frequency: 2100 * units.Megahertz, Voltage: 1.200},
+			{Frequency: 2800 * units.Megahertz, Voltage: 1.400},
+		},
+		// DynPerCore is the per-core wall-power delta of full load as
+		// meter 1 sees it (silicon switching plus VRM and PSU
+		// conversion losses). Note a recorded deviation: with this
+		// envelope the energy-optimal static division coincides with
+		// the time-balance point, whereas the paper's testbed showed
+		// it slightly below (10-15% vs the 20% balance for kmeans) —
+		// that gap needs a marginal CPU power above ~57 W/core, which
+		// would be outside the Phenom II X2's plausible wall envelope
+		// and would suppress the division savings everywhere else.
+		// See EXPERIMENTS.md.
+		Power: cpusim.PowerParams{
+			Platform:      45, // motherboard, DRAM, disk behind meter 1
+			StaticPerCore: 6,
+			DynPerCore:    28,
+		},
+	}
+}
+
+// PhenomIIX4 returns a quad-core variant of the testbed processor (same
+// P-states and per-core power envelope, twice the cores). Used by the
+// CPU-capability extension study: a faster CPU shifts the balanced
+// division point toward larger CPU shares.
+func PhenomIIX4() cpusim.Config {
+	cfg := PhenomIIX2()
+	cfg.Name = "AMD Phenom II X4"
+	cfg.Cores = 4
+	return cfg
+}
+
+// PCIe returns the host↔device interconnect configuration (PCIe 1.1 x16
+// era: ~3.2 GB/s sustained, sub-millisecond setup per DMA).
+func PCIe() bus.Config {
+	return bus.Config{
+		Name:      "pcie-x16",
+		Bandwidth: units.Bandwidth(3.2e9),
+		Latency:   500 * time.Microsecond,
+	}
+}
+
+// Machine is the assembled testbed.
+type Machine struct {
+	Engine *sim.Engine
+	GPU    *gpusim.GPU
+	CPU    *cpusim.CPU
+	Bus    *bus.Bus
+
+	// MeterCPU is meter 1 (CPU side of the box); MeterGPU is meter 2
+	// (the GPU card's dedicated ATX supply). Both sample at 1 Hz with
+	// 0.1 W resolution, like the Wattsup Pro. They are created stopped.
+	MeterCPU *power.Meter
+	MeterGPU *power.Meter
+}
+
+// New assembles the default testbed on a fresh simulation engine.
+func New() *Machine {
+	return NewFrom(GeForce8800GTX(), PhenomIIX2(), PCIe())
+}
+
+// NewFrom assembles a testbed from explicit device configurations.
+func NewFrom(gpuCfg gpusim.Config, cpuCfg cpusim.Config, busCfg bus.Config) *Machine {
+	e := sim.New()
+	m := &Machine{
+		Engine: e,
+		GPU:    gpusim.New(e, gpuCfg),
+		CPU:    cpusim.New(e, cpuCfg),
+		Bus:    bus.New(e, busCfg),
+	}
+	m.MeterCPU = power.NewMeter(e, power.DefaultConfig("meter1-cpu-side"), func() units.Power {
+		return m.CPU.InstantPower()
+	})
+	m.MeterGPU = power.NewMeter(e, power.DefaultConfig("meter2-gpu-card"), func() units.Power {
+		return m.GPU.InstantPower()
+	})
+	return m
+}
+
+// StartMeters begins sampling on both meters.
+func (m *Machine) StartMeters() {
+	m.MeterCPU.Start()
+	m.MeterGPU.Start()
+}
+
+// StopMeters halts sampling on both meters.
+func (m *Machine) StopMeters() {
+	m.MeterCPU.Stop()
+	m.MeterGPU.Stop()
+}
+
+// SystemPower returns the instantaneous whole-system draw (both meters).
+func (m *Machine) SystemPower() units.Power {
+	return m.GPU.InstantPower() + m.CPU.InstantPower()
+}
+
+// EnergySnapshot captures the exact (analytic) cumulative energy of both
+// sides at the current instant.
+type EnergySnapshot struct {
+	At  time.Duration
+	GPU units.Energy
+	CPU units.Energy
+}
+
+// Total returns the whole-system cumulative energy.
+func (s EnergySnapshot) Total() units.Energy { return s.GPU + s.CPU }
+
+// Snapshot captures cumulative energies now.
+func (m *Machine) Snapshot() EnergySnapshot {
+	return EnergySnapshot{
+		At:  m.Engine.Now(),
+		GPU: m.GPU.Counters().Energy,
+		CPU: m.CPU.Counters().Energy,
+	}
+}
+
+// EnergySince returns the exact energy both sides consumed since snapshot s.
+func (m *Machine) EnergySince(s EnergySnapshot) units.Energy {
+	cur := m.Snapshot()
+	return cur.Total() - s.Total()
+}
+
+// IdlePower returns the whole-system draw with both devices idle at their
+// current frequency levels.
+func (m *Machine) IdlePower() units.Power {
+	// The GPU contributes clock-tree and board power when idle; the CPU
+	// contributes platform and leakage. Both are exactly what
+	// InstantPower reports when no work is queued, but this helper is
+	// meaningful even mid-run: it recomputes power at zero utilization.
+	gpu := m.GPU
+	cpu := m.CPU
+	gcfg := gpu.Config()
+	fcR := float64(gpu.CoreFrequency()) / float64(gcfg.CoreLevels[len(gcfg.CoreLevels)-1])
+	fmR := float64(gpu.MemFrequency()) / float64(gcfg.MemLevels[len(gcfg.MemLevels)-1])
+	gp := gcfg.Power.Board +
+		units.Power(fcR)*gcfg.Power.CoreClockTree +
+		units.Power(fmR)*gcfg.Power.MemClockTree
+	return gp + cpu.IdlePowerAt(cpu.Level())
+}

@@ -1,0 +1,197 @@
+package testbed
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"greengpu/internal/cpusim"
+	"greengpu/internal/gpusim"
+	"greengpu/internal/units"
+)
+
+func TestPresetConfigsValid(t *testing.T) {
+	g := GeForce8800GTX()
+	if err := g.Validate(); err != nil {
+		t.Errorf("GPU preset invalid: %v", err)
+	}
+	c := PhenomIIX2()
+	if err := c.Validate(); err != nil {
+		t.Errorf("CPU preset invalid: %v", err)
+	}
+	b := PCIe()
+	if err := b.Validate(); err != nil {
+		t.Errorf("bus preset invalid: %v", err)
+	}
+}
+
+func TestGPUPresetMatchesPaper(t *testing.T) {
+	g := GeForce8800GTX()
+	if n := len(g.CoreLevels); n != 6 {
+		t.Errorf("core levels = %d, want 6", n)
+	}
+	if n := len(g.MemLevels); n != 6 {
+		t.Errorf("mem levels = %d, want 6", n)
+	}
+	// Paper-exact memory ladder.
+	wantMem := []float64{500, 580, 660, 740, 820, 900}
+	for i, f := range g.MemLevels {
+		if f.MHz() != wantMem[i] {
+			t.Errorf("mem level %d = %v MHz, want %v", i, f.MHz(), wantMem[i])
+		}
+	}
+	// Peak core clock 576 MHz; lowest near the quoted 410 MHz.
+	if got := g.CoreLevels[5].MHz(); got != 576 {
+		t.Errorf("peak core = %v MHz, want 576", got)
+	}
+	if got := g.CoreLevels[0].MHz(); math.Abs(got-410) > 2 {
+		t.Errorf("lowest core = %v MHz, want ~410", got)
+	}
+	// Equal-distance core ladder.
+	step := g.CoreLevels[1] - g.CoreLevels[0]
+	for i := 2; i < 6; i++ {
+		if g.CoreLevels[i]-g.CoreLevels[i-1] != step {
+			t.Error("core ladder not equal-distance")
+		}
+	}
+	// Rated bandwidth 86.4 GB/s at 900 MHz.
+	bw := g.BytesPerMemCycle * float64(g.MemLevels[5])
+	if math.Abs(bw-86.4e9) > 1e6 {
+		t.Errorf("peak bandwidth = %v, want 86.4e9", bw)
+	}
+	if spCount := g.SMs * g.SPsPerSM; spCount != 128 {
+		t.Errorf("SP count = %d, want 128", spCount)
+	}
+}
+
+func TestCPUPresetMatchesPaper(t *testing.T) {
+	c := PhenomIIX2()
+	if c.Cores != 2 {
+		t.Errorf("cores = %d, want 2 (dual-core Phenom II X2)", c.Cores)
+	}
+	want := []float64{800, 1300, 2100, 2800}
+	if len(c.PStates) != 4 {
+		t.Fatalf("P-states = %d, want 4", len(c.PStates))
+	}
+	for i, ps := range c.PStates {
+		if ps.Frequency.MHz() != want[i] {
+			t.Errorf("P-state %d = %v MHz, want %v", i, ps.Frequency.MHz(), want[i])
+		}
+	}
+}
+
+func TestPowerEnvelopes(t *testing.T) {
+	m := New()
+	// Idle at boot (lowest clocks): both sides well under load power.
+	idleGPU := m.GPU.InstantPower()
+	idleCPU := m.CPU.InstantPower()
+	if idleGPU < 45 || idleGPU > 95 {
+		t.Errorf("GPU idle power %v outside plausible 45-95 W band", idleGPU)
+	}
+	if idleCPU < 40 || idleCPU > 70 {
+		t.Errorf("CPU idle power %v outside plausible 40-70 W band", idleCPU)
+	}
+	// Fully busy at peak clocks.
+	m.GPU.SetLevels(5, 5)
+	m.CPU.SetLevel(3)
+	m.GPU.Submit(&gpusim.Kernel{Name: "burn", Phases: []gpusim.Phase{{Ops: 1e12, Bytes: 1e11}}})
+	m.CPU.Run(&cpusim.Job{Name: "burn", Ops: 1e12})
+	m.Engine.RunUntil(100 * time.Millisecond)
+	busyGPU := m.GPU.InstantPower()
+	busyCPU := m.CPU.InstantPower()
+	if busyGPU < 120 || busyGPU > 200 {
+		t.Errorf("GPU busy power %v outside plausible 120-200 W band", busyGPU)
+	}
+	if busyCPU < 90 || busyCPU > 140 {
+		t.Errorf("CPU busy power %v outside plausible 90-140 W band", busyCPU)
+	}
+	if busyGPU <= idleGPU || busyCPU <= idleCPU {
+		t.Error("busy power must exceed idle power")
+	}
+}
+
+func TestMetersObserveDevices(t *testing.T) {
+	m := New()
+	m.StartMeters()
+	m.GPU.Submit(&gpusim.Kernel{Name: "k", Phases: []gpusim.Phase{{Ops: 576e9}}}) // ~few seconds
+	m.Engine.RunUntil(5 * time.Second)
+	m.StopMeters()
+	if len(m.MeterGPU.Samples()) != 6 {
+		t.Errorf("GPU meter samples = %d, want 6", len(m.MeterGPU.Samples()))
+	}
+	if m.MeterGPU.AveragePower() <= 0 || m.MeterCPU.AveragePower() <= 0 {
+		t.Error("meters recorded no power")
+	}
+	// Meter energy should approximate the exact integral.
+	exact := m.GPU.Counters().Energy
+	sampled := m.MeterGPU.Energy()
+	if rel := math.Abs(float64(sampled-exact)) / float64(exact); rel > 0.05 {
+		t.Errorf("sampled energy off by %.1f%%", rel*100)
+	}
+}
+
+func TestSnapshotAndEnergySince(t *testing.T) {
+	m := New()
+	s0 := m.Snapshot()
+	m.Engine.RunUntil(10 * time.Second)
+	e := m.EnergySince(s0)
+	// 10 s of idle: total idle power ~ (GPU idle + CPU idle).
+	wantP := m.GPU.InstantPower() + m.CPU.InstantPower()
+	want := wantP.Over(10 * time.Second)
+	if math.Abs(float64(e-want)) > 1e-6 {
+		t.Errorf("EnergySince = %v, want %v", e, want)
+	}
+	s1 := m.Snapshot()
+	if s1.At != 10*time.Second {
+		t.Errorf("snapshot At = %v", s1.At)
+	}
+	if s1.Total() != s1.GPU+s1.CPU {
+		t.Error("Total() mismatch")
+	}
+}
+
+func TestSystemPower(t *testing.T) {
+	m := New()
+	if got := m.SystemPower(); got != m.GPU.InstantPower()+m.CPU.InstantPower() {
+		t.Errorf("SystemPower = %v", got)
+	}
+}
+
+func TestIdlePowerTracksLevels(t *testing.T) {
+	m := New()
+	low := m.IdlePower()
+	m.GPU.SetLevels(5, 5)
+	m.CPU.SetLevel(3)
+	high := m.IdlePower()
+	if low >= high {
+		t.Errorf("idle power at lowest (%v) should be below peak (%v)", low, high)
+	}
+	// IdlePower must equal InstantPower when nothing runs.
+	if got := m.IdlePower(); math.Abs(float64(got-m.SystemPower())) > 1e-9 {
+		t.Errorf("IdlePower %v != idle SystemPower %v", got, m.SystemPower())
+	}
+}
+
+func TestGPUEnergyScalingShape(t *testing.T) {
+	// Core-bound work at reduced memory frequency must use less energy
+	// with (near) unchanged execution time — the Fig. 1a/1b mechanism.
+	run := func(memLevel int) (time.Duration, units.Energy) {
+		m := New()
+		m.GPU.SetLevels(5, memLevel)
+		before := m.GPU.Counters()
+		k := &gpusim.Kernel{Name: "core-bound", Phases: []gpusim.Phase{{Ops: 2e12, Bytes: 5e9}}}
+		m.GPU.Submit(k)
+		m.Engine.Run()
+		w := m.GPU.Counters().Since(before)
+		return k.ExecTime(), w.Energy
+	}
+	tPeak, ePeak := run(5)
+	tLow, eLow := run(0)
+	slowdown := float64(tLow-tPeak) / float64(tPeak)
+	if slowdown > 0.05 {
+		t.Errorf("core-bound kernel slowed %.1f%% by memory throttle, want < 5%%", slowdown*100)
+	}
+	if eLow >= ePeak {
+		t.Errorf("memory throttle saved no energy: %v -> %v", ePeak, eLow)
+	}
+}

@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Name = "power"
+	s.Add(0, 100)
+	s.Add(1, 110)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	ys := s.Ys()
+	if ys[0] != 100 || ys[1] != 110 {
+		t.Errorf("Ys = %v", ys)
+	}
+}
+
+func TestTableText(t *testing.T) {
+	tab := NewTable("Demo", "workload", "saving %")
+	tab.AddRow("kmeans", "8.0")
+	tab.AddRow("hotspot", "42.7")
+	var b strings.Builder
+	if err := tab.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Demo", "workload", "kmeans", "42.7", "--------"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow("plain", `with "quote", comma`)
+	var b strings.Builder
+	if err := tab.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\nplain,\"with \"\"quote\"\", comma\"\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestTableRaggedRowPanics(t *testing.T) {
+	tab := NewTable("x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tab.AddRow("only-one")
+}
+
+func TestAddRowf(t *testing.T) {
+	tab := NewTable("", "name", "int", "float", "frac")
+	tab.AddRowf("w", 42, 3.0, 0.12345)
+	row := tab.Rows[0]
+	if row[0] != "w" || row[1] != "42" || row[2] != "3" || row[3] != "0.1235" {
+		t.Errorf("row = %v", row)
+	}
+}
+
+func TestStats(t *testing.T) {
+	xs := []float64{2, 4, 6}
+	if got := Mean(xs); got != 4 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Min(xs); got != 2 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := Max(xs); got != 6 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := ArgMin(xs); got != 0 {
+		t.Errorf("ArgMin = %v", got)
+	}
+	if got := Stddev(xs); math.Abs(got-1.632993) > 1e-5 {
+		t.Errorf("Stddev = %v", got)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil)")
+	}
+	if !math.IsInf(Min(nil), 1) {
+		t.Error("Min(nil)")
+	}
+	if !math.IsInf(Max(nil), -1) {
+		t.Error("Max(nil)")
+	}
+	if ArgMin(nil) != -1 {
+		t.Error("ArgMin(nil)")
+	}
+	if Stddev([]float64{1}) != 0 {
+		t.Error("Stddev single")
+	}
+}
+
+// Property: ArgMin indexes the minimum and Mean is between Min and Max.
+func TestStatsProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		i := ArgMin(xs)
+		if xs[i] != Min(xs) {
+			return false
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-9 && m <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil); got != "" {
+		t.Errorf("empty sparkline = %q", got)
+	}
+	got := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	want := "▁▂▃▄▅▆▇█"
+	if got != want {
+		t.Errorf("ramp sparkline = %q, want %q", got, want)
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	if len([]rune(flat)) != 3 {
+		t.Errorf("flat sparkline = %q", flat)
+	}
+	for _, r := range flat {
+		if r != []rune(flat)[0] {
+			t.Errorf("flat sparkline not constant: %q", flat)
+		}
+	}
+}
+
+func TestSparklineExtremes(t *testing.T) {
+	got := []rune(Sparkline([]float64{-100, 100}))
+	if got[0] != '▁' || got[1] != '█' {
+		t.Errorf("extremes = %q", string(got))
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tab := NewTable("Caption", "a", "b")
+	tab.AddRow("x", "with|pipe")
+	var b strings.Builder
+	if err := tab.WriteMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"**Caption**", "| a | b |", "|---|---|", "| x | with\\|pipe |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

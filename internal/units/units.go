@@ -1,0 +1,237 @@
+// Package units provides strongly typed physical quantities used throughout
+// the GreenGPU simulator: frequency, voltage, power, energy, data size and
+// bandwidth, together with parsing and human-readable formatting.
+//
+// All quantities are represented as float64 in SI base units (Hz, V, W, J,
+// bytes, bytes/s). Simulated time uses time.Duration for interoperability
+// with the standard library.
+package units
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Frequency is a clock frequency in hertz.
+type Frequency float64
+
+// Common frequency scales.
+const (
+	Hertz     Frequency = 1
+	Kilohertz Frequency = 1e3
+	Megahertz Frequency = 1e6
+	Gigahertz Frequency = 1e9
+)
+
+// MHz returns the frequency expressed in megahertz.
+func (f Frequency) MHz() float64 { return float64(f) / 1e6 }
+
+// GHz returns the frequency expressed in gigahertz.
+func (f Frequency) GHz() float64 { return float64(f) / 1e9 }
+
+// String formats the frequency with an auto-selected unit prefix.
+func (f Frequency) String() string {
+	v := float64(f)
+	switch {
+	case v >= 1e9:
+		return trimFloat(v/1e9) + " GHz"
+	case v >= 1e6:
+		return trimFloat(v/1e6) + " MHz"
+	case v >= 1e3:
+		return trimFloat(v/1e3) + " kHz"
+	default:
+		return trimFloat(v) + " Hz"
+	}
+}
+
+// Cycles returns the number of clock cycles elapsed over d at frequency f.
+func (f Frequency) Cycles(d time.Duration) float64 {
+	return float64(f) * d.Seconds()
+}
+
+// DurationFor returns the wall time needed for n cycles at frequency f.
+// It panics if f is not positive.
+func (f Frequency) DurationFor(cycles float64) time.Duration {
+	if f <= 0 {
+		panic("units: DurationFor on non-positive frequency")
+	}
+	return Seconds(cycles / float64(f))
+}
+
+// ParseFrequency parses strings like "576MHz", "2.8 GHz", "900e6".
+func ParseFrequency(s string) (Frequency, error) {
+	s = strings.TrimSpace(s)
+	mult := 1.0
+	lower := strings.ToLower(s)
+	for _, sfx := range []struct {
+		suffix string
+		mult   float64
+	}{
+		{"ghz", 1e9}, {"mhz", 1e6}, {"khz", 1e3}, {"hz", 1},
+	} {
+		if strings.HasSuffix(lower, sfx.suffix) {
+			mult = sfx.mult
+			s = strings.TrimSpace(s[:len(s)-len(sfx.suffix)])
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: invalid frequency %q: %w", s, err)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("units: non-finite frequency %q", s)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("units: negative frequency %q", s)
+	}
+	return Frequency(v * mult), nil
+}
+
+// Voltage is an electric potential in volts.
+type Voltage float64
+
+// String formats the voltage in volts.
+func (v Voltage) String() string { return trimFloat(float64(v)) + " V" }
+
+// Power is a rate of energy use in watts.
+type Power float64
+
+// Watts returns the power expressed in watts.
+func (p Power) Watts() float64 { return float64(p) }
+
+// String formats the power in watts.
+func (p Power) String() string { return trimFloat(float64(p)) + " W" }
+
+// Over returns the energy consumed at constant power p over duration d.
+func (p Power) Over(d time.Duration) Energy {
+	return Energy(float64(p) * d.Seconds())
+}
+
+// Energy is an amount of energy in joules.
+type Energy float64
+
+// Joules returns the energy expressed in joules.
+func (e Energy) Joules() float64 { return float64(e) }
+
+// WattHours returns the energy expressed in watt-hours.
+func (e Energy) WattHours() float64 { return float64(e) / 3600 }
+
+// String formats the energy with an auto-selected unit.
+func (e Energy) String() string {
+	v := float64(e)
+	switch {
+	case math.Abs(v) >= 3600e3:
+		return trimFloat(v/3600e3) + " kWh"
+	case math.Abs(v) >= 1e3:
+		return trimFloat(v/1e3) + " kJ"
+	default:
+		return trimFloat(v) + " J"
+	}
+}
+
+// Div returns the average power that spends energy e over duration d.
+// It returns 0 when d is zero.
+func (e Energy) Div(d time.Duration) Power {
+	if d == 0 {
+		return 0
+	}
+	return Power(float64(e) / d.Seconds())
+}
+
+// Bytes is a data size in bytes.
+type Bytes float64
+
+// Data size scales.
+const (
+	Byte     Bytes = 1
+	Kibibyte Bytes = 1 << 10
+	Mebibyte Bytes = 1 << 20
+	Gibibyte Bytes = 1 << 30
+)
+
+// String formats the size with a binary unit prefix.
+func (b Bytes) String() string {
+	v := float64(b)
+	switch {
+	case v >= float64(Gibibyte):
+		return trimFloat(v/float64(Gibibyte)) + " GiB"
+	case v >= float64(Mebibyte):
+		return trimFloat(v/float64(Mebibyte)) + " MiB"
+	case v >= float64(Kibibyte):
+		return trimFloat(v/float64(Kibibyte)) + " KiB"
+	default:
+		return trimFloat(v) + " B"
+	}
+}
+
+// Bandwidth is a data transfer rate in bytes per second.
+type Bandwidth float64
+
+// GBps returns the bandwidth in gigabytes per second (decimal GB).
+func (bw Bandwidth) GBps() float64 { return float64(bw) / 1e9 }
+
+// String formats the bandwidth in GB/s or MB/s.
+func (bw Bandwidth) String() string {
+	v := float64(bw)
+	if v >= 1e9 {
+		return trimFloat(v/1e9) + " GB/s"
+	}
+	return trimFloat(v/1e6) + " MB/s"
+}
+
+// TransferTime returns the wall time needed to move n bytes at this
+// bandwidth. It panics if the bandwidth is not positive.
+func (bw Bandwidth) TransferTime(n Bytes) time.Duration {
+	if bw <= 0 {
+		panic("units: TransferTime on non-positive bandwidth")
+	}
+	return Seconds(float64(n) / float64(bw))
+}
+
+// Seconds converts a float64 second count to time.Duration, saturating at
+// the representable range instead of overflowing.
+func Seconds(s float64) time.Duration {
+	const maxDur = float64(math.MaxInt64)
+	ns := s * 1e9
+	switch {
+	case ns >= maxDur:
+		return time.Duration(math.MaxInt64)
+	case ns <= -maxDur:
+		return time.Duration(math.MinInt64)
+	}
+	return time.Duration(ns)
+}
+
+// Ratio returns a/b, or 0 when b is zero. It is the division used for
+// utilization-style metrics where an empty denominator means "no activity".
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Clamp limits v to the closed interval [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func trimFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'f', 3, 64)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}

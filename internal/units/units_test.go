@@ -1,0 +1,228 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFrequencyConversions(t *testing.T) {
+	f := 576 * Megahertz
+	if got := f.MHz(); got != 576 {
+		t.Errorf("MHz() = %v, want 576", got)
+	}
+	if got := (2800 * Megahertz).GHz(); got != 2.8 {
+		t.Errorf("GHz() = %v, want 2.8", got)
+	}
+}
+
+func TestFrequencyString(t *testing.T) {
+	cases := []struct {
+		f    Frequency
+		want string
+	}{
+		{900 * Megahertz, "900 MHz"},
+		{2.8 * Gigahertz, "2.8 GHz"},
+		{32 * Kilohertz, "32 kHz"},
+		{60 * Hertz, "60 Hz"},
+	}
+	for _, c := range cases {
+		if got := c.f.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", float64(c.f), got, c.want)
+		}
+	}
+}
+
+func TestFrequencyCyclesRoundTrip(t *testing.T) {
+	f := 576 * Megahertz
+	d := 3 * time.Second
+	cycles := f.Cycles(d)
+	if want := 576e6 * 3; cycles != want {
+		t.Fatalf("Cycles = %v, want %v", cycles, want)
+	}
+	back := f.DurationFor(cycles)
+	if diff := (back - d).Abs(); diff > time.Microsecond {
+		t.Errorf("DurationFor round trip off by %v", diff)
+	}
+}
+
+func TestDurationForPanicsOnZeroFrequency(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero frequency")
+		}
+	}()
+	Frequency(0).DurationFor(100)
+}
+
+func TestParseFrequency(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Frequency
+	}{
+		{"576MHz", 576 * Megahertz},
+		{"2.8 GHz", 2.8 * Gigahertz},
+		{"900e6", 900 * Megahertz},
+		{"100 kHz", 100 * Kilohertz},
+		{"50hz", 50 * Hertz},
+	}
+	for _, c := range cases {
+		got, err := ParseFrequency(c.in)
+		if err != nil {
+			t.Errorf("ParseFrequency(%q) error: %v", c.in, err)
+			continue
+		}
+		if math.Abs(float64(got-c.want)) > 1e-6 {
+			t.Errorf("ParseFrequency(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseFrequencyErrors(t *testing.T) {
+	for _, in := range []string{"", "abc", "-5MHz", "MHz", "1.2.3GHz"} {
+		if _, err := ParseFrequency(in); err == nil {
+			t.Errorf("ParseFrequency(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestPowerOverEnergy(t *testing.T) {
+	e := Power(100).Over(90 * time.Second)
+	if e != 9000 {
+		t.Errorf("100W over 90s = %v J, want 9000", e.Joules())
+	}
+	if wh := e.WattHours(); wh != 2.5 {
+		t.Errorf("WattHours = %v, want 2.5", wh)
+	}
+}
+
+func TestEnergyDiv(t *testing.T) {
+	if p := Energy(9000).Div(90 * time.Second); p != 100 {
+		t.Errorf("Div = %v, want 100", p)
+	}
+	if p := Energy(1).Div(0); p != 0 {
+		t.Errorf("Div by zero duration = %v, want 0", p)
+	}
+}
+
+func TestBandwidthTransferTime(t *testing.T) {
+	bw := Bandwidth(86.4e9)
+	d := bw.TransferTime(Bytes(86.4e9))
+	if diff := (d - time.Second).Abs(); diff > time.Microsecond {
+		t.Errorf("TransferTime = %v, want ~1s", d)
+	}
+}
+
+func TestBandwidthTransferTimePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero bandwidth")
+		}
+	}()
+	Bandwidth(0).TransferTime(1)
+}
+
+func TestSecondsSaturates(t *testing.T) {
+	if d := Seconds(1e300); d != time.Duration(math.MaxInt64) {
+		t.Errorf("Seconds(1e300) = %v, want MaxInt64", d)
+	}
+	if d := Seconds(-1e300); d != time.Duration(math.MinInt64) {
+		t.Errorf("Seconds(-1e300) = %v, want MinInt64", d)
+	}
+	if d := Seconds(1.5); d != 1500*time.Millisecond {
+		t.Errorf("Seconds(1.5) = %v", d)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(1, 2); got != 0.5 {
+		t.Errorf("Ratio(1,2) = %v", got)
+	}
+	if got := Ratio(1, 0); got != 0 {
+		t.Errorf("Ratio(1,0) = %v, want 0", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ v, lo, hi, want float64 }{
+		{0.5, 0, 1, 0.5},
+		{-1, 0, 1, 0},
+		{2, 0, 1, 1},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.v, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%v,%v,%v) = %v, want %v", c.v, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestStringFormatting(t *testing.T) {
+	if s := Power(112.5).String(); s != "112.5 W" {
+		t.Errorf("Power string = %q", s)
+	}
+	if s := Energy(2000).String(); s != "2 kJ" {
+		t.Errorf("Energy string = %q", s)
+	}
+	if s := Energy(7.2e6).String(); s != "2 kWh" {
+		t.Errorf("Energy kWh string = %q", s)
+	}
+	if s := Bytes(1536).String(); s != "1.5 KiB" {
+		t.Errorf("Bytes string = %q", s)
+	}
+	if s := Bandwidth(86.4e9).String(); s != "86.4 GB/s" {
+		t.Errorf("Bandwidth string = %q", s)
+	}
+	if s := Voltage(1.25).String(); s != "1.25 V" {
+		t.Errorf("Voltage string = %q", s)
+	}
+}
+
+// Property: Clamp always returns a value inside [lo, hi] for lo <= hi,
+// and is idempotent.
+func TestClampProperty(t *testing.T) {
+	f := func(v, a, b float64) bool {
+		if math.IsNaN(v) || math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		got := Clamp(v, lo, hi)
+		return got >= lo && got <= hi && Clamp(got, lo, hi) == got
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Power.Over is linear in duration for non-negative power.
+func TestPowerOverLinearProperty(t *testing.T) {
+	f := func(p uint16, secs uint8) bool {
+		pw := Power(p)
+		d := time.Duration(secs) * time.Second
+		e1 := pw.Over(d)
+		e2 := pw.Over(2 * d)
+		return math.Abs(float64(e2-2*e1)) < 1e-9*math.Max(1, float64(e2))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: frequency cycle count and DurationFor are inverse operations.
+func TestCyclesInverseProperty(t *testing.T) {
+	f := func(mhz uint16, ms uint16) bool {
+		if mhz == 0 {
+			return true
+		}
+		freq := Frequency(mhz) * Megahertz
+		d := time.Duration(ms) * time.Millisecond
+		back := freq.DurationFor(freq.Cycles(d))
+		return (back - d).Abs() <= time.Microsecond
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,33 @@
+package wma
+
+import "testing"
+
+// BenchmarkUpdate36 measures one WMA round over the testbed's 36 experts
+// (6 core × 6 memory frequency pairs).
+func BenchmarkUpdate36(b *testing.B) {
+	t := New(36, 0.2)
+	loss := func(i int) float64 { return float64(i%7) / 7 }
+	for i := 0; i < b.N; i++ {
+		t.Update(loss)
+	}
+}
+
+// BenchmarkBest measures the argmax over the expert table.
+func BenchmarkBest(b *testing.B) {
+	t := New(36, 0.2)
+	t.Update(func(i int) float64 { return float64(i%5) / 5 })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Best()
+	}
+}
+
+// BenchmarkFixed8Update36 measures one fixed-point WMA round — the cost
+// the paper's §VI sketch maps onto shift-add hardware.
+func BenchmarkFixed8Update36(b *testing.B) {
+	t := NewFixed8(36, 0.2)
+	loss := func(i int) float64 { return float64(i%7) / 7 }
+	for i := 0; i < b.N; i++ {
+		t.Update(loss)
+	}
+}

@@ -1,0 +1,121 @@
+package wma
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFixed8Validation(t *testing.T) {
+	for _, c := range []struct {
+		n    int
+		beta float64
+	}{{0, 0.2}, {5, 0}, {5, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewFixed8(%d, %v) did not panic", c.n, c.beta)
+				}
+			}()
+			NewFixed8(c.n, c.beta)
+		}()
+	}
+}
+
+func TestFixed8InitialState(t *testing.T) {
+	tab := NewFixed8(36, 0.2)
+	if tab.Len() != 36 {
+		t.Errorf("Len = %d", tab.Len())
+	}
+	for i := 0; i < 36; i++ {
+		if tab.Weight(i) != 1 {
+			t.Errorf("initial Weight(%d) = %v", i, tab.Weight(i))
+		}
+	}
+	if tab.Best() != 0 {
+		t.Errorf("initial Best = %d", tab.Best())
+	}
+	if tab.SizeBytes() != 72 {
+		t.Errorf("SizeBytes = %d, want 72 (Q8.8, 36 experts)", tab.SizeBytes())
+	}
+}
+
+func TestFixed8DiscountsLosers(t *testing.T) {
+	tab := NewFixed8(3, 0.2)
+	tab.Update(func(i int) float64 {
+		if i == 1 {
+			return 0
+		}
+		return 1
+	})
+	if tab.Best() != 1 {
+		t.Errorf("Best = %d, want 1", tab.Best())
+	}
+	// Losers: factor = 1 − 0.8 ≈ 0.2 in Q0.8 (51/256 ≈ 0.199).
+	if w := tab.Weight(0); math.Abs(w-0.2) > 0.01 {
+		t.Errorf("loser weight = %v, want ~0.2", w)
+	}
+}
+
+func TestFixed8LossOutOfRangePanics(t *testing.T) {
+	tab := NewFixed8(2, 0.2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tab.Update(func(int) float64 { return 1.5 })
+}
+
+func TestFixed8SurvivesLongRuns(t *testing.T) {
+	tab := NewFixed8(2, 0.2)
+	for i := 0; i < 10000; i++ {
+		tab.Update(func(i int) float64 { return []float64{1, 0.9}[i] })
+	}
+	if tab.Best() != 1 {
+		t.Errorf("Best = %d after long decay, want 1", tab.Best())
+	}
+	if w := tab.Weight(1); w <= 0 {
+		t.Errorf("winner weight decayed to %v", w)
+	}
+}
+
+func TestFixed8ResetAndRounds(t *testing.T) {
+	tab := NewFixed8(2, 0.2)
+	tab.Update(func(i int) float64 { return float64(i) })
+	if tab.Rounds() != 1 {
+		t.Errorf("Rounds = %d", tab.Rounds())
+	}
+	tab.Reset()
+	if tab.Rounds() != 0 || tab.Weight(1) != 1 {
+		t.Error("Reset incomplete")
+	}
+}
+
+// Property: the paper's §VI claim — 8-bit precision is accurate enough to
+// pick the largest weight. Under steady per-expert losses the fixed
+// table's chosen expert must have a loss within one Q0.8 quantization step
+// of the float table's choice (experts whose losses differ by less than
+// 1/256 are indistinguishable to 8-bit hardware by construction).
+func TestFixed8MatchesFloatArgmaxProperty(t *testing.T) {
+	f := func(seed uint16, rounds uint8) bool {
+		n := 9
+		losses := make([]float64, n)
+		s := seed
+		for i := range losses {
+			s = s*31421 + 6927
+			losses[i] = float64(s%1000) / 1000
+		}
+		fl := New(n, 0.2)
+		fx := NewFixed8(n, 0.2)
+		r := int(rounds)%60 + 5
+		for i := 0; i < r; i++ {
+			fl.Update(func(i int) float64 { return losses[i] })
+			fx.Update(func(i int) float64 { return losses[i] })
+		}
+		return losses[fx.Best()] <= losses[fl.Best()]+1.5/256
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
