@@ -1,0 +1,40 @@
+# Local entry points mirroring .github/workflows/ci.yml — `make check`
+# runs exactly what CI runs.
+
+GO ?= go
+
+.PHONY: fmt fmtcheck vet build test race bench determinism check
+
+fmt:
+	gofmt -w .
+
+fmtcheck:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+# The parallel engine's guarantee, end to end: the experiments binary must
+# produce byte-identical output for any -jobs value.
+determinism:
+	$(GO) build -o /tmp/greengpu-experiments ./cmd/experiments
+	/tmp/greengpu-experiments -run table2,sweep -jobs 1 -out /tmp/greengpu-seq > /tmp/greengpu-seq.txt
+	/tmp/greengpu-experiments -run table2,sweep -jobs 8 -out /tmp/greengpu-par > /tmp/greengpu-par.txt
+	diff -u /tmp/greengpu-seq.txt /tmp/greengpu-par.txt
+	diff -r /tmp/greengpu-seq /tmp/greengpu-par
+	rm -rf /tmp/greengpu-experiments /tmp/greengpu-seq /tmp/greengpu-par /tmp/greengpu-seq.txt /tmp/greengpu-par.txt
+
+check: fmtcheck vet build race bench determinism

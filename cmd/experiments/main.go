@@ -4,17 +4,23 @@
 //
 // Usage:
 //
-//	experiments                     # run everything
+//	experiments                     # run everything, one worker per CPU
 //	experiments -run fig6           # one experiment
 //	experiments -out results        # also write results/<id>*.csv
+//	experiments -jobs 1             # force sequential execution
 //
 // Experiment ids: fig1, fig2, fig5, fig6, fig7, fig8, table2, sweep,
 // ablations, extensions, all.
+//
+// Every experiment point runs on a fresh simulated machine with
+// deterministic seeding, so the output is byte-identical for every -jobs
+// value; the flag only trades wall-clock time for cores.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -25,9 +31,10 @@ import (
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "experiment id (fig1 fig2 fig5 fig6 fig7 fig8 table2 sweep ablations extensions all)")
+		run      = flag.String("run", "all", "comma-separated experiment ids (fig1 fig2 fig5 fig6 fig7 fig8 table2 sweep ablations extensions all)")
 		out      = flag.String("out", "", "directory for CSV output (empty = none)")
 		markdown = flag.Bool("markdown", false, "render tables as GitHub markdown instead of aligned text")
+		jobs     = flag.Int("jobs", 0, "concurrent experiment points (0 = one per CPU, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -35,7 +42,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	r := &runner{env: env, outDir: *out, markdown: *markdown}
+	env.Jobs = *jobs
+	r := &runner{env: env, outDir: *out, markdown: *markdown, stdout: os.Stdout}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fatal(err)
@@ -44,7 +52,7 @@ func main() {
 
 	ids := strings.Split(*run, ",")
 	if *run == "all" {
-		ids = []string{"table2", "fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "sweep", "ablations", "extensions"}
+		ids = allIDs
 	}
 	for _, id := range ids {
 		if err := r.runOne(strings.TrimSpace(id)); err != nil {
@@ -53,74 +61,46 @@ func main() {
 	}
 }
 
-type runner struct {
-	env      *experiments.Env
-	outDir   string
-	markdown bool
-}
+// allIDs is the "all" suite, in the order the paper presents it.
+var allIDs = []string{"table2", "fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "sweep", "ablations", "extensions"}
 
-func (r *runner) emit(id string, tables ...*trace.Table) error {
-	for i, t := range tables {
-		render := t.WriteText
-		if r.markdown {
-			render = t.WriteMarkdown
-		}
-		if err := render(os.Stdout); err != nil {
-			return err
-		}
-		fmt.Println()
-		if r.outDir != "" {
-			name := id
-			if len(tables) > 1 {
-				name = fmt.Sprintf("%s_%d", id, i+1)
-			}
-			f, err := os.Create(filepath.Join(r.outDir, name+".csv"))
-			if err != nil {
-				return err
-			}
-			if err := t.WriteCSV(f); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
-func (r *runner) runOne(id string) error {
-	switch id {
-	case "fig1":
+// handlers routes experiment ids to their runners. Keeping the dispatch
+// table explicit (rather than a switch) lets tests verify the id set
+// without executing every experiment.
+var handlers = map[string]func(*runner) error{
+	"fig1": func(r *runner) error {
 		res, err := r.env.Fig1()
 		if err != nil {
 			return err
 		}
-		return r.emit(id, res.Table())
-	case "fig2":
+		return r.emit("fig1", res.Table())
+	},
+	"fig2": func(r *runner) error {
 		res, err := r.env.Fig2()
 		if err != nil {
 			return err
 		}
-		return r.emit(id, res.Table())
-	case "fig5":
+		return r.emit("fig2", res.Table())
+	},
+	"fig5": func(r *runner) error {
 		res, err := r.env.Fig5()
 		if err != nil {
 			return err
 		}
-		if err := r.emit(id, res.Table(), res.PowerTable()); err != nil {
+		if err := r.emit("fig5", res.Table(), res.PowerTable()); err != nil {
 			return err
 		}
-		fmt.Println(res.Sparklines())
+		fmt.Fprintln(r.stdout, res.Sparklines())
 		return nil
-	case "fig6":
+	},
+	"fig6": func(r *runner) error {
 		res, err := r.env.Fig6()
 		if err != nil {
 			return err
 		}
-		return r.emit(id, res.Table())
-	case "fig7":
+		return r.emit("fig6", res.Table())
+	},
+	"fig7": func(r *runner) error {
 		var tables []*trace.Table
 		for _, name := range []string{"kmeans", "hotspot"} {
 			res, err := r.env.Fig7(name)
@@ -129,8 +109,9 @@ func (r *runner) runOne(id string) error {
 			}
 			tables = append(tables, res.Table())
 		}
-		return r.emit(id, tables...)
-	case "fig8":
+		return r.emit("fig7", tables...)
+	},
+	"fig8": func(r *runner) error {
 		var tables []*trace.Table
 		for _, name := range []string{"hotspot", "kmeans"} {
 			res, err := r.env.Fig8(name)
@@ -139,26 +120,30 @@ func (r *runner) runOne(id string) error {
 			}
 			tables = append(tables, res.Table())
 		}
-		return r.emit(id, tables...)
-	case "table2":
+		return r.emit("fig8", tables...)
+	},
+	"table2": func(r *runner) error {
 		res, err := r.env.Table2()
 		if err != nil {
 			return err
 		}
-		return r.emit(id, res.Table())
-	case "sweep":
+		return r.emit("table2", res.Table())
+	},
+	"sweep": func(r *runner) error {
 		res, err := r.env.StaticSweep("kmeans", "hotspot")
 		if err != nil {
 			return err
 		}
-		return r.emit(id, res.Table())
-	case "ablations":
+		return r.emit("sweep", res.Table())
+	},
+	"ablations": func(r *runner) error {
 		tables, err := r.env.AblationTables("kmeans")
 		if err != nil {
 			return err
 		}
-		return r.emit(id, tables...)
-	case "extensions":
+		return r.emit("ablations", tables...)
+	},
+	"extensions": func(r *runner) error {
 		var tables []*trace.Table
 		drows, err := r.env.DividerComparison("kmeans", "hotspot")
 		if err != nil {
@@ -195,10 +180,54 @@ func (r *runner) runOne(id string) error {
 			return err
 		}
 		tables = append(tables, experiments.SMComparisonTable(srows))
-		return r.emit(id, tables...)
-	default:
+		return r.emit("extensions", tables...)
+	},
+}
+
+type runner struct {
+	env      *experiments.Env
+	outDir   string
+	markdown bool
+	stdout   io.Writer
+}
+
+func (r *runner) emit(id string, tables ...*trace.Table) error {
+	for i, t := range tables {
+		render := t.WriteText
+		if r.markdown {
+			render = t.WriteMarkdown
+		}
+		if err := render(r.stdout); err != nil {
+			return err
+		}
+		fmt.Fprintln(r.stdout)
+		if r.outDir != "" {
+			name := id
+			if len(tables) > 1 {
+				name = fmt.Sprintf("%s_%d", id, i+1)
+			}
+			f, err := os.Create(filepath.Join(r.outDir, name+".csv"))
+			if err != nil {
+				return err
+			}
+			if err := t.WriteCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (r *runner) runOne(id string) error {
+	h, ok := handlers[id]
+	if !ok {
 		return fmt.Errorf("unknown experiment %q", id)
 	}
+	return h(r)
 }
 
 func fatal(err error) {

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"greengpu/internal/experiments"
+	"greengpu/internal/trace"
+)
+
+// testEnv is built once: calibration is deterministic and the environment
+// is immutable, so all runner tests can share it.
+var (
+	testEnvOnce sync.Once
+	testEnv     *experiments.Env
+)
+
+func env(t *testing.T) *experiments.Env {
+	t.Helper()
+	testEnvOnce.Do(func() {
+		e, err := experiments.NewEnv()
+		if err != nil {
+			t.Fatalf("NewEnv: %v", err)
+		}
+		testEnv = e
+	})
+	return testEnv
+}
+
+func TestRunOneUnknownID(t *testing.T) {
+	r := &runner{env: env(t), stdout: &bytes.Buffer{}}
+	err := r.runOne("nope")
+	if err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	if !strings.Contains(err.Error(), `"nope"`) {
+		t.Errorf("error %q does not name the bad id", err)
+	}
+}
+
+func TestAllIDsAreRouted(t *testing.T) {
+	// Every id the "all" suite dispatches must have a handler, and every
+	// handler must be reachable from the suite — no dead or missing ids.
+	if len(allIDs) != len(handlers) {
+		t.Errorf("allIDs has %d ids, handlers has %d", len(allIDs), len(handlers))
+	}
+	seen := map[string]bool{}
+	for _, id := range allIDs {
+		if seen[id] {
+			t.Errorf("duplicate id %q in allIDs", id)
+		}
+		seen[id] = true
+		if _, ok := handlers[id]; !ok {
+			t.Errorf("id %q in allIDs has no handler", id)
+		}
+	}
+	for id := range handlers {
+		if !seen[id] {
+			t.Errorf("handler %q unreachable from the all suite", id)
+		}
+	}
+}
+
+func TestRunOneTable2WritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	r := &runner{env: env(t), outDir: dir, stdout: &out}
+	if err := r.runOne("table2"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "kmeans") {
+		t.Error("stdout table missing workload rows")
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "table2.csv"))
+	if err != nil {
+		t.Fatalf("CSV not written: %v", err)
+	}
+	if !strings.Contains(string(csv), "kmeans") {
+		t.Error("CSV missing workload rows")
+	}
+}
+
+func TestRunOneRespectsJobs(t *testing.T) {
+	// The runner must work for any worker count and produce identical
+	// output (the engine's determinism guarantee, exercised end-to-end
+	// through the dispatch path).
+	render := func(jobs int) string {
+		e := *env(t)
+		e.Jobs = jobs
+		var out bytes.Buffer
+		r := &runner{env: &e, stdout: &out}
+		if err := r.runOne("table2"); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if seq, par := render(1), render(8); seq != par {
+		t.Error("table2 output differs between -jobs 1 and -jobs 8")
+	}
+}
+
+func TestEmitNumbersMultipleTables(t *testing.T) {
+	dir := t.TempDir()
+	r := &runner{outDir: dir, stdout: &bytes.Buffer{}}
+	t1 := trace.NewTable("one", "a")
+	t1.AddRow("1")
+	t2 := trace.NewTable("two", "b")
+	t2.AddRow("2")
+	if err := r.emit("x", t1, t2); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"x_1.csv", "x_2.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing %s: %v", name, err)
+		}
+	}
+	// A single table keeps the bare id.
+	if err := r.emit("y", t1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "y.csv")); err != nil {
+		t.Errorf("missing y.csv: %v", err)
+	}
+}
+
+func TestEmitMarkdown(t *testing.T) {
+	var out bytes.Buffer
+	r := &runner{markdown: true, stdout: &out}
+	tb := trace.NewTable("title", "col")
+	tb.AddRow("v")
+	if err := r.emit("z", tb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "|") {
+		t.Error("markdown rendering produced no table pipes")
+	}
+}

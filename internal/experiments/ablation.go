@@ -2,12 +2,13 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
+	"math"
 	"time"
 
 	"greengpu/internal/core"
 	"greengpu/internal/division"
 	"greengpu/internal/dvfs"
+	"greengpu/internal/parallel"
 	"greengpu/internal/trace"
 	"greengpu/internal/units"
 )
@@ -34,22 +35,20 @@ type StepRow struct {
 // AblationDivisionStep sweeps the division step size. The paper's argument:
 // small steps converge slowly, large steps oscillate; 5% balances the two.
 func (e *Env) AblationDivisionStep(name string, steps []float64) ([]StepRow, error) {
-	var rows []StepRow
-	for _, step := range steps {
+	return mapPoints(e, steps, func(_ int, step float64) (StepRow, error) {
 		cfg := core.DefaultConfig(core.Division)
 		cfg.Division.Step = step
 		r, err := e.run(name, cfg)
 		if err != nil {
-			return nil, err
+			return StepRow{}, err
 		}
-		rows = append(rows, StepRow{
+		return StepRow{
 			Step:          step,
 			ConvergeIters: convergeIter(r.Iterations),
 			Flips:         tailFlips(r.Iterations),
 			Energy:        r.Energy,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // convergeTolerance treats ratios this close as settled — continuous
@@ -99,19 +98,19 @@ type SafeguardRow struct {
 	SafeguardHolds int // times the safeguard kept the ratio
 }
 
-// AblationSafeguard runs the §V-B safeguard A/B.
+// AblationSafeguard runs the §V-B safeguard A/B. The two arms are
+// independent runs, so they execute concurrently.
 func (e *Env) AblationSafeguard(name string) (*SafeguardRow, error) {
 	row := &SafeguardRow{Workload: name}
-	cfg := core.DefaultConfig(core.Division)
-	with, err := e.run(name, cfg)
+	arms, err := mapPoints(e, []bool{true, false}, func(_ int, safeguard bool) (*core.Result, error) {
+		cfg := core.DefaultConfig(core.Division)
+		cfg.Division.Safeguard = safeguard
+		return e.run(name, cfg)
+	})
 	if err != nil {
 		return nil, err
 	}
-	cfg.Division.Safeguard = false
-	without, err := e.run(name, cfg)
-	if err != nil {
-		return nil, err
-	}
+	with, without := arms[0], arms[1]
 	row.EnergyWith = with.Energy
 	row.EnergyWithout = without.Energy
 	row.FlipsWith = tailFlips(with.Iterations)
@@ -140,21 +139,19 @@ func (e *Env) AblationScalerParams(name string, variants []dvfs.Params) ([]Scale
 	if err != nil {
 		return nil, err
 	}
-	var rows []ScalerParamRow
-	for _, p := range variants {
+	return mapPoints(e, variants, func(_ int, p dvfs.Params) (ScalerParamRow, error) {
 		cfg := core.DefaultConfig(core.FreqScaling)
 		cfg.GPUScaler = p
 		r, err := e.run(name, cfg)
 		if err != nil {
-			return nil, err
+			return ScalerParamRow{}, err
 		}
-		rows = append(rows, ScalerParamRow{
+		return ScalerParamRow{
 			Params:    p,
 			GPUSaving: 1 - float64(r.EnergyGPU)/float64(base.EnergyGPU),
 			ExecDelta: float64(r.TotalTime)/float64(base.TotalTime) - 1,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // DecouplingRow is one DVFS-interval setting's outcome under the holistic
@@ -172,27 +169,25 @@ type DecouplingRow struct {
 
 // AblationDecoupling sweeps tier 2's interval under the holistic mode.
 func (e *Env) AblationDecoupling(name string, intervals []time.Duration) ([]DecouplingRow, error) {
-	var rows []DecouplingRow
-	for _, iv := range intervals {
+	return mapPoints(e, intervals, func(_ int, iv time.Duration) (DecouplingRow, error) {
 		cfg := core.DefaultConfig(core.Holistic)
 		cfg.DVFSInterval = iv
 		r, err := e.run(name, cfg)
 		if err != nil {
-			return nil, err
+			return DecouplingRow{}, err
 		}
 		steps := 0.0
 		if len(r.Iterations) > 0 {
 			steps = float64(r.DVFSSteps) / float64(len(r.Iterations))
 		}
-		rows = append(rows, DecouplingRow{
+		return DecouplingRow{
 			DVFSInterval:      iv,
 			StepsPerIteration: steps,
 			Energy:            r.Energy,
 			ExecTime:          r.TotalTime,
 			RatioFlips:        tailFlips(r.Iterations),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // NoiseRow is one sensor-noise level's outcome.
@@ -202,34 +197,45 @@ type NoiseRow struct {
 	ExecDelta float64
 }
 
+// sensorNoiseSeed is the base seed for sensor-noise injection. Per-sigma
+// task seeds derive from it with parallel.TaskSeed.
+const sensorNoiseSeed = 42
+
 // AblationSensorNoise injects uniform ±sigma noise into the utilization
-// readings (deterministically seeded) and measures how gracefully the
-// scaler degrades.
+// readings and measures how gracefully the scaler degrades.
+//
+// Each noise sample is derived statelessly from (sigma, sample index)
+// rather than drawn from one shared PRNG stream: sample k of the sigma=σ
+// run is the same value no matter which other runs executed, in what
+// order, on how many workers, or even which other sigmas appear in the
+// sweep. That makes each row a pure function of (workload, sigma) under
+// any execution schedule.
 func (e *Env) AblationSensorNoise(name string, sigmas []float64) ([]NoiseRow, error) {
 	base, err := e.run(name, baselineConfig(0))
 	if err != nil {
 		return nil, err
 	}
-	var rows []NoiseRow
-	for _, sigma := range sigmas {
-		sigma := sigma
-		rng := rand.New(rand.NewSource(42))
+	return mapPoints(e, sigmas, func(_ int, sigma float64) (NoiseRow, error) {
+		seed := parallel.TaskSeed(sensorNoiseSeed^math.Float64bits(sigma), 0)
+		var k uint64 // sample counter within this run (the sim is single-threaded)
 		cfg := core.DefaultConfig(core.FreqScaling)
 		cfg.SensorFilter = func(uc, um float64) (float64, float64) {
-			return units.Clamp(uc+(rng.Float64()*2-1)*sigma, 0, 1),
-				units.Clamp(um+(rng.Float64()*2-1)*sigma, 0, 1)
+			a := parallel.Uniform(seed, k)
+			b := parallel.Uniform(seed, k+1)
+			k += 2
+			return units.Clamp(uc+(a*2-1)*sigma, 0, 1),
+				units.Clamp(um+(b*2-1)*sigma, 0, 1)
 		}
 		r, err := e.run(name, cfg)
 		if err != nil {
-			return nil, err
+			return NoiseRow{}, err
 		}
-		rows = append(rows, NoiseRow{
+		return NoiseRow{
 			Sigma:     sigma,
 			GPUSaving: 1 - float64(r.EnergyGPU)/float64(base.EnergyGPU),
 			ExecDelta: float64(r.TotalTime)/float64(base.TotalTime) - 1,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // GammaRow is one overlap-factor setting's Fig. 6-style summary.
@@ -244,25 +250,23 @@ type GammaRow struct {
 // sensitivity of the reproduction to the one free constant in the GPU
 // timing model.
 func (e *Env) AblationGamma(gammas []float64) ([]GammaRow, error) {
-	var rows []GammaRow
-	for _, g := range gammas {
+	return mapPoints(e, gammas, func(_ int, g float64) (GammaRow, error) {
 		gcfg := e.GPUConfig
 		gcfg.OverlapGamma = g
-		env2, err := NewEnvFrom(gcfg, e.CPUConfig, e.BusConfig)
+		env2, err := e.derive(gcfg, e.CPUConfig, e.BusConfig)
 		if err != nil {
-			return nil, err
+			return GammaRow{}, err
 		}
 		fig6, err := env2.Fig6()
 		if err != nil {
-			return nil, err
+			return GammaRow{}, err
 		}
-		rows = append(rows, GammaRow{
+		return GammaRow{
 			Gamma:        g,
 			AvgGPUSaving: fig6.Summary.AvgGPUSaving,
 			AvgExecDelta: fig6.Summary.AvgExecDelta,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // AblationTables renders all ablations for one divisible workload into

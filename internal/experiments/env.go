@@ -18,21 +18,37 @@
 package experiments
 
 import (
+	"context"
+
 	"greengpu/internal/bus"
 	"greengpu/internal/core"
 	"greengpu/internal/cpusim"
 	"greengpu/internal/gpusim"
+	"greengpu/internal/parallel"
 	"greengpu/internal/testbed"
 	"greengpu/internal/workload"
 )
 
 // Env carries the device configurations and calibrated workloads every
 // experiment runs against.
+//
+// An Env is safe for concurrent use: the configurations and profiles are
+// immutable after construction, and every run assembles its own fresh
+// machine (see Machine). Experiments exploit this by fanning independent
+// points out over a worker pool bounded by Jobs.
 type Env struct {
 	GPUConfig gpusim.Config
 	CPUConfig cpusim.Config
 	BusConfig bus.Config
 	Profiles  []*workload.Profile
+
+	// Jobs bounds how many experiment points run concurrently when an
+	// experiment fans out over independent runs. 0 selects one worker per
+	// available CPU; 1 forces sequential execution. Results are identical
+	// for every value — each point runs on its own fresh machine with
+	// per-task deterministic seeding — so Jobs only trades wall-clock
+	// time for cores.
+	Jobs int
 }
 
 // NewEnv builds the default environment: the paper's testbed devices and
@@ -69,4 +85,31 @@ func (e *Env) run(name string, cfg core.Config) (*core.Result, error) {
 		return nil, err
 	}
 	return core.Run(e.Machine(), p, cfg)
+}
+
+// derive builds an environment from explicit device configurations like
+// NewEnvFrom, carrying over this environment's execution settings (Jobs).
+// Studies that recalibrate against other devices use it so one Jobs knob
+// governs the whole experiment tree.
+func (e *Env) derive(gpu gpusim.Config, cpu cpusim.Config, b bus.Config) (*Env, error) {
+	env2, err := NewEnvFrom(gpu, cpu, b)
+	if err != nil {
+		return nil, err
+	}
+	env2.Jobs = e.Jobs
+	return env2, nil
+}
+
+// mapPoints fans fn out over the items on the environment's worker pool,
+// returning the results in input order. It is the single scheduling choke
+// point of the experiments layer: every figure/table fan-out goes through
+// it, so Jobs bounds concurrency uniformly and error selection is
+// deterministic (lowest failing index wins, as in parallel.Map).
+//
+// fn must follow the fresh-machine contract: build all mutable state (the
+// machine, policies, PRNGs) inside the task, from plain-value inputs.
+func mapPoints[T, R any](e *Env, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	return parallel.Map(context.Background(), items,
+		func(_ context.Context, i int, item T) (R, error) { return fn(i, item) },
+		parallel.Workers(e.Jobs))
 }

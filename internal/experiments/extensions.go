@@ -11,6 +11,7 @@ import (
 	"greengpu/internal/testbed"
 	"greengpu/internal/trace"
 	"greengpu/internal/units"
+	"greengpu/internal/workload"
 )
 
 // This file holds the extension studies beyond the paper's evaluation:
@@ -32,42 +33,38 @@ type DividerRow struct {
 }
 
 // DividerComparison runs the paper's step heuristic and the Qilin-style
-// adaptive mapper head-to-head under division-only mode.
+// adaptive mapper head-to-head under division-only mode. Every
+// (workload, policy) pair is an independent run; each task builds its own
+// policy instance, since division policies carry per-run learning state.
 func (e *Env) DividerComparison(names ...string) ([]DividerRow, error) {
-	var rows []DividerRow
+	type comparisonTask struct {
+		workload string
+		policy   string
+	}
+	var tasks []comparisonTask
 	for _, name := range names {
-		// The step heuristic.
+		tasks = append(tasks,
+			comparisonTask{name, "greengpu-step"},
+			comparisonTask{name, "qilin-adaptive"})
+	}
+	return mapPoints(e, tasks, func(_ int, tk comparisonTask) (DividerRow, error) {
 		cfg := core.DefaultConfig(core.Division)
-		r, err := e.run(name, cfg)
-		if err != nil {
-			return nil, err
+		if tk.policy == "qilin-adaptive" {
+			cfg.DivisionPolicy = division.NewQilin(division.DefaultQilinConfig())
 		}
-		rows = append(rows, DividerRow{
-			Workload:       name,
-			Policy:         "greengpu-step",
+		r, err := e.run(tk.workload, cfg)
+		if err != nil {
+			return DividerRow{}, err
+		}
+		return DividerRow{
+			Workload:       tk.workload,
+			Policy:         tk.policy,
 			ConvergedAfter: convergeIter(r.Iterations),
 			FinalRatio:     r.FinalRatio,
 			Energy:         r.Energy,
 			ExecTime:       r.TotalTime,
-		})
-
-		// Qilin-style adaptive mapping.
-		qcfg := core.DefaultConfig(core.Division)
-		qcfg.DivisionPolicy = division.NewQilin(division.DefaultQilinConfig())
-		qr, err := e.run(name, qcfg)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, DividerRow{
-			Workload:       name,
-			Policy:         "qilin-adaptive",
-			ConvergedAfter: convergeIter(qr.Iterations),
-			FinalRatio:     qr.FinalRatio,
-			Energy:         qr.Energy,
-			ExecTime:       qr.TotalTime,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // DividerComparisonTable renders the comparison.
@@ -108,17 +105,16 @@ type AsyncRow struct {
 // workload and scores the paper's emulation against the real thing.
 func (e *Env) AsyncValidation(names ...string) ([]AsyncRow, error) {
 	idle := e.cpuIdlePowerAtLowest()
-	var rows []AsyncRow
-	for _, name := range names {
+	return mapPoints(e, names, func(_ int, name string) (AsyncRow, error) {
 		sync, err := e.run(name, scalingConfig())
 		if err != nil {
-			return nil, err
+			return AsyncRow{}, err
 		}
 		acfg := scalingConfig()
 		acfg.SpinWait = false
 		async, err := e.run(name, acfg)
 		if err != nil {
-			return nil, err
+			return AsyncRow{}, err
 		}
 		row := AsyncRow{
 			Workload:       name,
@@ -127,9 +123,8 @@ func (e *Env) AsyncValidation(names ...string) ([]AsyncRow, error) {
 			AsyncEnergy:    async.Energy,
 		}
 		row.EmulationError = float64(row.EmulatedEnergy)/float64(row.AsyncEnergy) - 1
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // AsyncValidationTable renders the validation.
@@ -163,10 +158,11 @@ func (e *Env) ActuatorFaults(name string) ([]FaultRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	scenarios := []struct {
+	type faultScenario struct {
 		name   string
 		filter func(dvfs.Decision) dvfs.Decision
-	}{
+	}
+	scenarios := []faultScenario{
 		{"healthy", nil},
 		{"mem stuck at boot level", func(d dvfs.Decision) dvfs.Decision {
 			d.MemLevel = 0
@@ -182,21 +178,19 @@ func (e *Env) ActuatorFaults(name string) ([]FaultRow, error) {
 			return dvfs.Decision{CoreLevel: 5, MemLevel: 5}
 		}},
 	}
-	var rows []FaultRow
-	for _, s := range scenarios {
+	return mapPoints(e, scenarios, func(_ int, s faultScenario) (FaultRow, error) {
 		cfg := scalingConfig()
 		cfg.ActuatorFilter = s.filter
 		r, err := e.run(name, cfg)
 		if err != nil {
-			return nil, err
+			return FaultRow{}, err
 		}
-		rows = append(rows, FaultRow{
+		return FaultRow{
 			Scenario:  s.name,
 			GPUSaving: 1 - float64(r.EnergyGPU)/float64(base.EnergyGPU),
 			ExecDelta: float64(r.TotalTime)/float64(base.TotalTime) - 1,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // ActuatorFaultsTable renders the fault study.
@@ -227,23 +221,26 @@ type PortabilityRow struct {
 // The algorithms carry no device-specific constants besides their
 // published tuning, so the savings should transfer.
 func (e *Env) Portability() ([]PortabilityRow, error) {
-	var rows []PortabilityRow
-	for _, d := range []struct {
+	type deviceCase struct {
 		name string
 		env  func() (*Env, error)
-	}{
-		{"GeForce 8800 GTX", func() (*Env, error) { return NewEnv() }},
-		{"GTX 280-class", func() (*Env, error) {
-			return NewEnvFrom(testbed.GTX280(), testbed.PhenomIIX2(), testbed.PCIe())
+	}
+	devices := []deviceCase{
+		{"GeForce 8800 GTX", func() (*Env, error) {
+			return e.derive(testbed.GeForce8800GTX(), testbed.PhenomIIX2(), testbed.PCIe())
 		}},
-	} {
+		{"GTX 280-class", func() (*Env, error) {
+			return e.derive(testbed.GTX280(), testbed.PhenomIIX2(), testbed.PCIe())
+		}},
+	}
+	return mapPoints(e, devices, func(_ int, d deviceCase) (PortabilityRow, error) {
 		env, err := d.env()
 		if err != nil {
-			return nil, err
+			return PortabilityRow{}, err
 		}
 		fig6, err := env.Fig6()
 		if err != nil {
-			return nil, err
+			return PortabilityRow{}, err
 		}
 		row := PortabilityRow{
 			Device:       d.name,
@@ -254,7 +251,7 @@ func (e *Env) Portability() ([]PortabilityRow, error) {
 		for _, name := range []string{"kmeans", "hotspot"} {
 			f8, err := env.Fig8(name)
 			if err != nil {
-				return nil, err
+				return PortabilityRow{}, err
 			}
 			sum += f8.SavingVsBaseline
 		}
@@ -262,7 +259,7 @@ func (e *Env) Portability() ([]PortabilityRow, error) {
 		for _, name := range []string{"kmeans", "hotspot"} {
 			f7, err := env.Fig7(name)
 			if err != nil {
-				return nil, err
+				return PortabilityRow{}, err
 			}
 			if name == "kmeans" {
 				row.KmeansConverged = f7.ConvergedRatio
@@ -270,9 +267,8 @@ func (e *Env) Portability() ([]PortabilityRow, error) {
 				row.HotspotConverged = f7.ConvergedRatio
 			}
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // PortabilityTable renders the cross-device study.
@@ -305,31 +301,29 @@ type Fixed8Row struct {
 // running the whole frequency-scaling tier on 8-bit weights should match
 // the float implementation's savings within a fraction of a percent.
 func (e *Env) Fixed8Comparison() ([]Fixed8Row, error) {
-	var rows []Fixed8Row
-	for _, p := range e.Profiles {
+	return mapPoints(e, e.Profiles, func(_ int, p *workload.Profile) (Fixed8Row, error) {
 		base, err := e.run(p.Name, baselineConfig(0))
 		if err != nil {
-			return nil, err
+			return Fixed8Row{}, err
 		}
 		fl, err := e.run(p.Name, scalingConfig())
 		if err != nil {
-			return nil, err
+			return Fixed8Row{}, err
 		}
 		fcfg := scalingConfig()
 		fcfg.Fixed8Scaler = true
 		fx, err := e.run(p.Name, fcfg)
 		if err != nil {
-			return nil, err
+			return Fixed8Row{}, err
 		}
-		rows = append(rows, Fixed8Row{
+		return Fixed8Row{
 			Workload:       p.Name,
 			SavingFloat:    1 - float64(fl.EnergyGPU)/float64(base.EnergyGPU),
 			SavingFixed8:   1 - float64(fx.EnergyGPU)/float64(base.EnergyGPU),
 			ExecDeltaFloat: float64(fl.TotalTime)/float64(base.TotalTime) - 1,
 			ExecDeltaFixed: float64(fx.TotalTime)/float64(base.TotalTime) - 1,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // Fixed8ComparisonTable renders the hardware-precision study.
@@ -362,35 +356,38 @@ type CPURow struct {
 // shares (kmeans: 1/(1+4) = 20% on the X2 vs 1/(1+2) ≈ 33% on the X4),
 // and the division tier must find the new point without retuning.
 func (e *Env) CPUCapability(names ...string) ([]CPURow, error) {
-	cpus := []struct {
-		label string
-		cfg   func() cpusim.Config
-	}{
-		{"Phenom II X2 (2 cores)", testbed.PhenomIIX2},
-		{"Phenom II X4 (4 cores)", testbed.PhenomIIX4},
+	type cpuCase struct {
+		label    string
+		cfg      func() cpusim.Config
+		workload string
 	}
-	var rows []CPURow
-	for _, c := range cpus {
+	var tasks []cpuCase
+	for _, c := range []cpuCase{
+		{label: "Phenom II X2 (2 cores)", cfg: testbed.PhenomIIX2},
+		{label: "Phenom II X4 (4 cores)", cfg: testbed.PhenomIIX4},
+	} {
 		for _, name := range names {
-			p, err := e.Profile(name)
-			if err != nil {
-				return nil, err
-			}
-			m := testbed.NewFrom(e.GPUConfig, c.cfg(), e.BusConfig)
-			r, err := core.Run(m, p, core.DefaultConfig(core.Division))
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, CPURow{
-				CPU:            c.label,
-				Workload:       name,
-				ConvergedShare: r.FinalRatio,
-				Energy:         r.Energy,
-				ExecTime:       r.TotalTime,
-			})
+			tasks = append(tasks, cpuCase{label: c.label, cfg: c.cfg, workload: name})
 		}
 	}
-	return rows, nil
+	return mapPoints(e, tasks, func(_ int, tk cpuCase) (CPURow, error) {
+		p, err := e.Profile(tk.workload)
+		if err != nil {
+			return CPURow{}, err
+		}
+		m := testbed.NewFrom(e.GPUConfig, tk.cfg(), e.BusConfig)
+		r, err := core.Run(m, p, core.DefaultConfig(core.Division))
+		if err != nil {
+			return CPURow{}, err
+		}
+		return CPURow{
+			CPU:            tk.label,
+			Workload:       tk.workload,
+			ConvergedShare: r.FinalRatio,
+			Energy:         r.Energy,
+			ExecTime:       r.TotalTime,
+		}, nil
+	})
 }
 
 // CPUCapabilityTable renders the processor sweep.
@@ -426,7 +423,7 @@ type SMRow struct {
 func (e *Env) SMComparison() ([]SMRow, error) {
 	gcfg := testbed.GTX280()
 	gcfg.Power.CoreGatable = 0.8
-	env2, err := NewEnvFrom(gcfg, e.CPUConfig, e.BusConfig)
+	env2, err := e.derive(gcfg, e.CPUConfig, e.BusConfig)
 	if err != nil {
 		return nil, err
 	}
@@ -442,17 +439,16 @@ func (e *Env) SMComparison() ([]SMRow, error) {
 		CPU:  len(e.CPUConfig.PStates) - 1,
 	}
 
-	var rows []SMRow
-	for _, p := range env2.Profiles {
+	return mapPoints(env2, env2.Profiles, func(_ int, p *workload.Profile) (SMRow, error) {
 		base, err := env2.run(p.Name, baselineConfig(0))
 		if err != nil {
-			return nil, err
+			return SMRow{}, err
 		}
 
 		// Frequency scaling only (GreenGPU tier 2).
 		freq, err := env2.run(p.Name, scalingConfig())
 		if err != nil {
-			return nil, err
+			return SMRow{}, err
 		}
 
 		// Core-count scaling only: clocks pinned at peak, SM policy on.
@@ -462,7 +458,7 @@ func (e *Env) SMComparison() ([]SMRow, error) {
 		smCfg.InitialLevels = peakLevels
 		sm, err := env2.run(p.Name, smCfg)
 		if err != nil {
-			return nil, err
+			return SMRow{}, err
 		}
 
 		// Both knobs.
@@ -470,19 +466,18 @@ func (e *Env) SMComparison() ([]SMRow, error) {
 		bothCfg.SMScaling = true
 		both, err := env2.run(p.Name, bothCfg)
 		if err != nil {
-			return nil, err
+			return SMRow{}, err
 		}
 
-		rows = append(rows, SMRow{
+		return SMRow{
 			Workload:       p.Name,
 			FreqSaving:     1 - float64(freq.EnergyGPU)/float64(base.EnergyGPU),
 			SMSaving:       1 - float64(sm.EnergyGPU)/float64(base.EnergyGPU),
 			CombinedSaving: 1 - float64(both.EnergyGPU)/float64(base.EnergyGPU),
 			FreqExecDelta:  float64(freq.TotalTime)/float64(base.TotalTime) - 1,
 			SMExecDelta:    float64(sm.TotalTime)/float64(base.TotalTime) - 1,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // SMComparisonTable renders the strategy comparison.

@@ -43,61 +43,96 @@ type Fig1Result struct {
 // and memory-bounded streamcluster.
 var fig1Workloads = []string{"nbody", "streamcluster"}
 
+// fig1Task is one grid point of the Fig. 1 sweep: (workload, domain,
+// level), with the clock operating point resolved up front so the task
+// body is a pure fresh-machine run.
+type fig1Task struct {
+	workload string
+	domain   Fig1Domain
+	level    int
+	mhz      float64
+	levels   core.Levels
+}
+
 // Fig1 reproduces the §III-A case study: run each workload GPU-only at
 // every frequency level of one domain (the other pinned at peak) and report
 // execution time and GPU energy normalized to the peak-frequency run.
+// All grid points are independent fixed-frequency runs, so they execute on
+// the environment's worker pool.
 func (e *Env) Fig1() (*Fig1Result, error) {
-	res := &Fig1Result{}
 	nCore := len(e.GPUConfig.CoreLevels)
 	nMem := len(e.GPUConfig.MemLevels)
+
+	// Enumerate the grid in the figure's panel order (workload outer,
+	// domain middle, level inner); results come back in the same order.
+	var tasks []fig1Task
 	for _, name := range fig1Workloads {
 		for _, domain := range []Fig1Domain{DomainMemory, DomainCore} {
-			var sweep []Fig1Point
-			var peak Fig1Point
 			n := nMem
 			if domain == DomainCore {
 				n = nCore
 			}
 			for lvl := 0; lvl < n; lvl++ {
-				levels := core.Levels{
-					Core: nCore - 1,
-					Mem:  nMem - 1,
-					CPU:  len(e.CPUConfig.PStates) - 1,
+				tk := fig1Task{
+					workload: name,
+					domain:   domain,
+					level:    lvl,
+					levels: core.Levels{
+						Core: nCore - 1,
+						Mem:  nMem - 1,
+						CPU:  len(e.CPUConfig.PStates) - 1,
+					},
 				}
-				var mhz float64
 				if domain == DomainMemory {
-					levels.Mem = lvl
-					mhz = e.GPUConfig.MemLevels[lvl].MHz()
+					tk.levels.Mem = lvl
+					tk.mhz = e.GPUConfig.MemLevels[lvl].MHz()
 				} else {
-					levels.Core = lvl
-					mhz = e.GPUConfig.CoreLevels[lvl].MHz()
+					tk.levels.Core = lvl
+					tk.mhz = e.GPUConfig.CoreLevels[lvl].MHz()
 				}
-				cfg := core.DefaultConfig(core.Baseline)
-				cfg.InitialLevels = &levels
-				cfg.Iterations = 4
-				r, err := e.run(name, cfg)
-				if err != nil {
-					return nil, err
-				}
-				pt := Fig1Point{
-					Workload: name,
-					Domain:   domain,
-					Level:    lvl,
-					MHz:      mhz,
-					ExecTime: r.TotalTime,
-					Energy:   r.EnergyGPU,
-				}
-				if lvl == n-1 {
-					peak = pt
-				}
-				sweep = append(sweep, pt)
+				tasks = append(tasks, tk)
 			}
-			for i := range sweep {
-				sweep[i].NormTime = float64(sweep[i].ExecTime) / float64(peak.ExecTime)
-				sweep[i].RelEnergy = float64(sweep[i].Energy) / float64(peak.Energy)
-			}
-			res.Points = append(res.Points, sweep...)
 		}
+	}
+
+	points, err := mapPoints(e, tasks, func(_ int, tk fig1Task) (Fig1Point, error) {
+		levels := tk.levels
+		cfg := core.DefaultConfig(core.Baseline)
+		cfg.InitialLevels = &levels
+		cfg.Iterations = 4
+		r, err := e.run(tk.workload, cfg)
+		if err != nil {
+			return Fig1Point{}, err
+		}
+		return Fig1Point{
+			Workload: tk.workload,
+			Domain:   tk.domain,
+			Level:    tk.level,
+			MHz:      tk.mhz,
+			ExecTime: r.TotalTime,
+			Energy:   r.EnergyGPU,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Normalize each contiguous (workload, domain) sweep to its peak
+	// (highest-level, i.e. last) point.
+	res := &Fig1Result{Points: points}
+	for start := 0; start < len(points); {
+		end := start + 1
+		for end < len(points) &&
+			points[end].Workload == points[start].Workload &&
+			points[end].Domain == points[start].Domain {
+			end++
+		}
+		peak := points[end-1]
+		for i := start; i < end; i++ {
+			res.Points[i].NormTime = float64(points[i].ExecTime) / float64(peak.ExecTime)
+			res.Points[i].RelEnergy = float64(points[i].Energy) / float64(peak.Energy)
+		}
+		start = end
 	}
 	return res, nil
 }

@@ -35,13 +35,17 @@ func (e *Env) Fig2() (*Fig2Result, error) {
 
 // DivisionSweep runs a static-division energy sweep over CPU shares
 // [lo, hi] with the given step. iterations <= 0 uses the profile default.
+// Every share is an independent fixed-ratio run on a fresh machine, so the
+// sweep executes on the environment's worker pool.
 func (e *Env) DivisionSweep(name string, lo, hi, step float64, iterations int) (*Fig2Result, error) {
 	if step <= 0 || hi < lo {
 		return nil, fmt.Errorf("experiments: invalid sweep [%v, %v] step %v", lo, hi, step)
 	}
-	res := &Fig2Result{Workload: name}
+	var shares []float64
 	for share := lo; share <= hi+1e-9; share += step {
-		share := share
+		shares = append(shares, share)
+	}
+	points, err := mapPoints(e, shares, func(_ int, share float64) (Fig2Point, error) {
 		cfg := core.DefaultConfig(core.Baseline)
 		cfg.StaticRatio = &share
 		if iterations > 0 {
@@ -49,14 +53,18 @@ func (e *Env) DivisionSweep(name string, lo, hi, step float64, iterations int) (
 		}
 		r, err := e.run(name, cfg)
 		if err != nil {
-			return nil, err
+			return Fig2Point{}, err
 		}
-		res.Points = append(res.Points, Fig2Point{
+		return Fig2Point{
 			CPUShare: share,
 			Energy:   r.Energy,
 			Time:     r.TotalTime,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res := &Fig2Result{Workload: name, Points: points}
 	energies := make([]float64, len(res.Points))
 	for i, p := range res.Points {
 		energies[i] = float64(p.Energy)

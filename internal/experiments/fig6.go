@@ -7,6 +7,7 @@ import (
 	"greengpu/internal/core"
 	"greengpu/internal/trace"
 	"greengpu/internal/units"
+	"greengpu/internal/workload"
 )
 
 // Fig6Row is one workload's frequency-scaling result, spanning the three
@@ -53,19 +54,21 @@ type Fig6Result struct {
 // 14.53%), 29.2% average dynamic saving at 2.95% longer execution, and
 // 12.48% average saving when both CPU and GPU are throttled (emulated).
 func (e *Env) Fig6() (*Fig6Result, error) {
-	res := &Fig6Result{}
 	// Idle power of the GPU at its default (lowest) clocks defines the
-	// "idle energy" subtracted in panel (b).
+	// "idle energy" subtracted in panel (b); the CPU analogue feeds the
+	// panel (c) emulation. Both depend only on the device configurations,
+	// so they are computed once, outside the fan-out.
 	idleGPU := e.gpuIdlePowerAtLowest()
+	idleCPU := e.cpuIdlePowerAtLowest()
 
-	for _, p := range e.Profiles {
+	rows, err := mapPoints(e, e.Profiles, func(_ int, p *workload.Profile) (Fig6Row, error) {
 		scaled, err := e.run(p.Name, scalingConfig())
 		if err != nil {
-			return nil, err
+			return Fig6Row{}, err
 		}
 		base, err := e.run(p.Name, baselineConfig(0))
 		if err != nil {
-			return nil, err
+			return Fig6Row{}, err
 		}
 
 		row := Fig6Row{
@@ -87,12 +90,14 @@ func (e *Env) Fig6() (*Fig6Result, error) {
 		// energy replaced by lowest-P-state idle energy on both sides
 		// of the comparison's scaled run (the baseline keeps its real
 		// measured energy, as in the paper).
-		idleCPU := e.cpuIdlePowerAtLowest()
 		emulated := scaled.EmulatedEnergyCPUThrottled(idleCPU)
 		row.SystemSaving = 1 - float64(emulated)/float64(base.Energy)
-
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res := &Fig6Result{Rows: rows}
 
 	var gs, ds, ed, ss []float64
 	for _, r := range res.Rows {

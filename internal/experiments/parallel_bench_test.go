@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// Benchmarks for the parallel experiment engine: the same evaluation suite
+// at different worker counts. The jobs=N variants should approach N× the
+// jobs=1 throughput up to the machine's core count, with byte-identical
+// results (asserted separately in parallel_test.go).
+
+func benchJobs() []int {
+	jobs := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		jobs = append(jobs, n)
+	}
+	return jobs
+}
+
+// BenchmarkFig6 is the headline per-workload fan-out: 9 workloads × 2 runs.
+func BenchmarkFig6(b *testing.B) {
+	for _, jobs := range benchJobs() {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			e := withJobs(jobs)
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Fig6(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig1 is the frequency-grid fan-out: 2 workloads × 2 domains ×
+// 6 levels of fixed-frequency runs.
+func BenchmarkFig1(b *testing.B) {
+	for _, jobs := range benchJobs() {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			e := withJobs(jobs)
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Fig1(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStaticSweep exercises the nested fan-out (per-workload sweeps,
+// each over a 20-point grid of full-length runs).
+func BenchmarkStaticSweep(b *testing.B) {
+	for _, jobs := range benchJobs() {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			e := withJobs(jobs)
+			for i := 0; i < b.N; i++ {
+				if _, err := e.StaticSweep("kmeans", "hotspot"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -39,8 +39,9 @@ type Table2Result struct {
 // counters (not the calibration targets), so this experiment also
 // continuously validates the calibration round-trip.
 func (e *Env) Table2() (*Table2Result, error) {
-	res := &Table2Result{}
-	for _, p := range e.Profiles {
+	rows, err := mapPoints(e, e.Profiles, func(_ int, p *workload.Profile) (Table2Row, error) {
+		// Each measurement gets its own single-purpose simulation engine
+		// and device, per the fresh-machine contract.
 		eng := sim.New()
 		g := gpusim.New(eng, e.GPUConfig)
 		g.SetLevels(len(e.GPUConfig.CoreLevels)-1, len(e.GPUConfig.MemLevels)-1)
@@ -49,7 +50,7 @@ func (e *Env) Table2() (*Table2Result, error) {
 		g.Submit(k)
 		eng.Run()
 		w := g.Counters().Since(before)
-		res.Rows = append(res.Rows, Table2Row{
+		return Table2Row{
 			Workload:      p.Name,
 			Description:   p.Description,
 			Enlargement:   p.Enlargement,
@@ -59,9 +60,12 @@ func (e *Env) Table2() (*Table2Result, error) {
 			MemClass:      workload.Classify(w.MemUtil),
 			Fluctuating:   p.Fluctuating(),
 			IterationTime: k.ExecTime(),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Table2Result{Rows: rows}, nil
 }
 
 // Table renders the characterization in Table II's layout.
@@ -111,14 +115,14 @@ type SweepResult struct {
 // workloads: a 5%-grid static division sweep locates the true energy
 // optimum, which the dynamic division run is then scored against.
 func (e *Env) StaticSweep(names ...string) (*SweepResult, error) {
-	res := &SweepResult{}
-	for _, name := range names {
+	rows, err := mapPoints(e, names, func(_ int, name string) (SweepRow, error) {
 		// Full-length runs on both sides so the dynamic algorithm's
 		// convergence transient amortizes the way it did on the
-		// testbed's enlarged workloads.
+		// testbed's enlarged workloads. The 5% grid underneath fans out
+		// on the same worker pool.
 		sweep, err := e.DivisionSweep(name, 0, 0.95, 0.05, 0)
 		if err != nil {
-			return nil, err
+			return SweepRow{}, err
 		}
 		energies := make([]float64, len(sweep.Points))
 		for i, p := range sweep.Points {
@@ -131,7 +135,7 @@ func (e *Env) StaticSweep(names ...string) (*SweepResult, error) {
 		cfg := core.DefaultConfig(core.Division)
 		dyn, err := e.run(name, cfg)
 		if err != nil {
-			return nil, err
+			return SweepRow{}, err
 		}
 
 		row := SweepRow{
@@ -145,9 +149,12 @@ func (e *Env) StaticSweep(names ...string) (*SweepResult, error) {
 		if maxSaving > 0 {
 			row.SavingShare = float64(allGPU.Energy-dyn.Energy) / maxSaving
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &SweepResult{Rows: rows}, nil
 }
 
 // Table renders the optimality study.
