@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: fmt fmtcheck vet build test race bench determinism check
+.PHONY: fmt fmtcheck vet build test race bench bench-stable bench-json golden determinism check
 
 fmt:
 	gofmt -w .
@@ -26,6 +26,35 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# bench-stable runs the hot-path micro-benchmarks with a fixed iteration
+# count and five repetitions, the shape benchstat wants. Compare two trees
+# with:
+#
+#	make bench-stable > old.txt          # on the baseline commit
+#	make bench-stable > new.txt          # on the candidate commit
+#	benchstat old.txt new.txt            # (golang.org/x/perf/cmd/benchstat)
+#
+# -benchtime=100x pins work per iteration so run-to-run variance comes only
+# from the machine, and five counts give benchstat a distribution to test.
+bench-stable:
+	$(GO) test -run='^$$' -bench=. -benchmem -count=5 -benchtime=100x \
+		./internal/sim ./internal/dvfs
+
+# bench-json snapshots the hot-path benchmarks as machine-readable JSON.
+# CI uploads the file as an artifact; the committed copy is the trajectory
+# baseline reviewers diff against (see docs/PERF.md).
+bench-json:
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=1000x \
+		./internal/sim ./internal/dvfs | $(GO) run ./cmd/benchjson > BENCH_sim.json
+
+# golden regenerates every experiment CSV and diffs against the committed
+# results/ directory — the zero-output-drift gate for perf work.
+golden:
+	$(GO) build -o /tmp/greengpu-golden-bin ./cmd/experiments
+	rm -rf /tmp/greengpu-golden && /tmp/greengpu-golden-bin -run all -out /tmp/greengpu-golden > /dev/null
+	diff -r results /tmp/greengpu-golden
+	rm -rf /tmp/greengpu-golden /tmp/greengpu-golden-bin
 
 # The parallel engine's guarantee, end to end: the experiments binary must
 # produce byte-identical output for any -jobs value.

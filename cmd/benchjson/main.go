@@ -1,0 +1,133 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// machine-readable JSON document on stdout, so benchmark trajectories can be
+// committed and diffed across PRs (see docs/PERF.md and `make bench-json`).
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./internal/sim | benchjson > BENCH_sim.json
+//
+// The parser understands the standard benchmark line format
+//
+//	BenchmarkName-8   1000000   123.4 ns/op   16 B/op   2 allocs/op
+//
+// plus the goos/goarch/cpu/pkg header lines. ns/op, B/op and allocs/op get
+// dedicated fields; any other unit (custom b.ReportMetric output) lands in
+// the Metrics map. Non-benchmark lines (PASS, ok, test log output) are
+// ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"`
+	Procs      int                `json:"procs,omitempty"` // the -N GOMAXPROCS suffix
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op,omitempty"`
+	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
+	AllocsInfo *float64           `json:"allocs_per_op,omitempty"` // pointer: 0 allocs/op is a result worth recording
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the whole parsed run.
+type Report struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{Benchmarks: []Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok := parseBenchLine(line)
+			if !ok {
+				continue // a log line that happens to start with "Benchmark"
+			}
+			res.Pkg = pkg
+			rep.Benchmarks = append(rep.Benchmarks, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// parseBenchLine parses one "BenchmarkX-N  iters  v unit  v unit ..." line.
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	// Minimum shape: name, iteration count, and at least one value/unit pair.
+	if len(fields) < 4 || (len(fields)-2)%2 != 0 {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0]}
+	if i := strings.LastIndex(res.Name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(res.Name[i+1:]); err == nil {
+			res.Name, res.Procs = res.Name[:i], procs
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = v
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			allocs := v
+			res.AllocsInfo = &allocs
+		default:
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[unit] = v
+		}
+	}
+	return res, true
+}

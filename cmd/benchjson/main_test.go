@@ -1,0 +1,107 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: greengpu/internal/sim
+cpu: AMD EPYC 7B13
+BenchmarkEventThroughput-8   	14107584	        84.55 ns/op	       0 B/op	       0 allocs/op
+BenchmarkTicker-8            	12459828	        95.75 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	greengpu/internal/sim	3.383s
+pkg: greengpu/internal/dvfs
+BenchmarkScalerStep-8        	 1575276	       758.0 ns/op	      12.50 steps/ms	       0 B/op	       0 allocs/op
+PASS
+ok  	greengpu/internal/dvfs	1.519s
+`
+
+func TestParseSample(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" {
+		t.Errorf("header: goos=%q goarch=%q", rep.Goos, rep.Goarch)
+	}
+	if rep.CPU != "AMD EPYC 7B13" {
+		t.Errorf("cpu = %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkEventThroughput" || b.Procs != 8 {
+		t.Errorf("first bench name=%q procs=%d", b.Name, b.Procs)
+	}
+	if b.Pkg != "greengpu/internal/sim" {
+		t.Errorf("first bench pkg = %q", b.Pkg)
+	}
+	if b.Iterations != 14107584 || b.NsPerOp != 84.55 {
+		t.Errorf("first bench iters=%d ns=%v", b.Iterations, b.NsPerOp)
+	}
+	if b.AllocsInfo == nil || *b.AllocsInfo != 0 {
+		t.Errorf("first bench allocs = %v, want explicit 0", b.AllocsInfo)
+	}
+	// The dvfs benchmark follows a later pkg: header and carries a custom
+	// metric unit.
+	d := rep.Benchmarks[2]
+	if d.Pkg != "greengpu/internal/dvfs" {
+		t.Errorf("dvfs bench pkg = %q", d.Pkg)
+	}
+	if d.Metrics["steps/ms"] != 12.5 {
+		t.Errorf("custom metric = %v, want 12.5", d.Metrics["steps/ms"])
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	in := `random log output
+Benchmark results coming up
+BenchmarkOK-4 100 5.0 ns/op
+FAIL
+`
+	rep, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 {
+		t.Fatalf("got %d benchmarks, want 1 (noise lines must be skipped)", len(rep.Benchmarks))
+	}
+	if rep.Benchmarks[0].Name != "BenchmarkOK" {
+		t.Errorf("name = %q", rep.Benchmarks[0].Name)
+	}
+}
+
+func TestParseBenchLineShapes(t *testing.T) {
+	cases := []struct {
+		line string
+		ok   bool
+	}{
+		{"BenchmarkX-8 100 5.0 ns/op", true},
+		{"BenchmarkX 100 5.0 ns/op", true},             // no procs suffix
+		{"BenchmarkX-8 100 5.0 ns/op 16 B/op", true},   // partial memstats
+		{"BenchmarkX-8 100", false},                    // no value/unit pairs
+		{"BenchmarkX-8 100 5.0 ns/op trailing", false}, // odd field count
+		{"BenchmarkX-8 notanumber 5.0 ns/op", false},
+	}
+	for _, c := range cases {
+		if _, ok := parseBenchLine(c.line); ok != c.ok {
+			t.Errorf("parseBenchLine(%q) ok=%v, want %v", c.line, ok, c.ok)
+		}
+	}
+}
+
+func TestParseBenchLineKeepsSubBenchName(t *testing.T) {
+	// Sub-benchmark names contain slashes and may contain dashes that are
+	// not a procs suffix.
+	res, ok := parseBenchLine("BenchmarkHeap/arity-4-8 100 5.0 ns/op")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if res.Name != "BenchmarkHeap/arity-4" || res.Procs != 8 {
+		t.Errorf("name=%q procs=%d", res.Name, res.Procs)
+	}
+}

@@ -15,6 +15,12 @@
 // Every experiment point runs on a fresh simulated machine with
 // deterministic seeding, so the output is byte-identical for every -jobs
 // value; the flag only trades wall-clock time for cores.
+//
+// The -cpuprofile and -memprofile flags write pprof profiles covering the
+// full run, for inspecting the simulator's hot paths (see docs/PERF.md):
+//
+//	experiments -run fig1 -cpuprofile cpu.out
+//	go tool pprof cpu.out
 package main
 
 import (
@@ -23,42 +29,124 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"greengpu/internal/experiments"
 	"greengpu/internal/trace"
 )
 
+// options holds every command-line flag. Keeping them in one struct bound
+// by registerFlags lets tests parse argument lists without touching the
+// process-global flag.CommandLine.
+type options struct {
+	run        string
+	out        string
+	markdown   bool
+	jobs       int
+	cpuprofile string
+	memprofile string
+}
+
+func registerFlags(fs *flag.FlagSet) *options {
+	o := &options{}
+	fs.StringVar(&o.run, "run", "all", "comma-separated experiment ids (fig1 fig2 fig5 fig6 fig7 fig8 table2 sweep ablations extensions all)")
+	fs.StringVar(&o.out, "out", "", "directory for CSV output (empty = none)")
+	fs.BoolVar(&o.markdown, "markdown", false, "render tables as GitHub markdown instead of aligned text")
+	fs.IntVar(&o.jobs, "jobs", 0, "concurrent experiment points (0 = one per CPU, 1 = sequential)")
+	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&o.memprofile, "memprofile", "", "write a heap profile to this file at exit")
+	return o
+}
+
 func main() {
-	var (
-		run      = flag.String("run", "all", "comma-separated experiment ids (fig1 fig2 fig5 fig6 fig7 fig8 table2 sweep ablations extensions all)")
-		out      = flag.String("out", "", "directory for CSV output (empty = none)")
-		markdown = flag.Bool("markdown", false, "render tables as GitHub markdown instead of aligned text")
-		jobs     = flag.Int("jobs", 0, "concurrent experiment points (0 = one per CPU, 1 = sequential)")
-	)
+	o := registerFlags(flag.CommandLine)
 	flag.Parse()
+	if err := run(o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the selected experiments. It returns rather than exits on
+// error so that profile files are always flushed and closed.
+func run(o *options, stdout io.Writer) (err error) {
+	stopProfiles, err := startProfiles(o.cpuprofile, o.memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	env, err := experiments.NewEnv()
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	env.Jobs = *jobs
-	r := &runner{env: env, outDir: *out, markdown: *markdown, stdout: os.Stdout}
-	if *out != "" {
-		if err := os.MkdirAll(*out, 0o755); err != nil {
-			fatal(err)
+	env.Jobs = o.jobs
+	r := &runner{env: env, outDir: o.out, markdown: o.markdown, stdout: stdout}
+	if o.out != "" {
+		if err := os.MkdirAll(o.out, 0o755); err != nil {
+			return err
 		}
 	}
 
-	ids := strings.Split(*run, ",")
-	if *run == "all" {
+	ids := strings.Split(o.run, ",")
+	if o.run == "all" {
 		ids = allIDs
 	}
 	for _, id := range ids {
 		if err := r.runOne(strings.TrimSpace(id)); err != nil {
-			fatal(err)
+			return err
 		}
 	}
+	return nil
+}
+
+// startProfiles begins CPU profiling and/or arranges a heap profile,
+// according to the (possibly empty) file names. The returned stop function
+// must be called exactly once; it flushes and closes whatever was started.
+func startProfiles(cpu, mem string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		cpuFile, err = os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		var first error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				first = err
+			}
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				if first == nil {
+					first = err
+				}
+				return first
+			}
+			runtime.GC() // report live objects, not garbage awaiting collection
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = err
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
 }
 
 // allIDs is the "all" suite, in the order the paper presents it.
@@ -228,9 +316,4 @@ func (r *runner) runOne(id string) error {
 		return fmt.Errorf("unknown experiment %q", id)
 	}
 	return h(r)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
 }

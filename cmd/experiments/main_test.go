@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
@@ -29,6 +30,84 @@ func env(t *testing.T) *experiments.Env {
 		testEnv = e
 	})
 	return testEnv
+}
+
+func TestRegisterFlagsRoundTrip(t *testing.T) {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	o := registerFlags(fs)
+	args := []string{
+		"-run", "fig1,fig2",
+		"-out", "res",
+		"-markdown",
+		"-jobs", "3",
+		"-cpuprofile", "cpu.out",
+		"-memprofile", "mem.out",
+	}
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	want := options{run: "fig1,fig2", out: "res", markdown: true, jobs: 3,
+		cpuprofile: "cpu.out", memprofile: "mem.out"}
+	if *o != want {
+		t.Errorf("parsed options = %+v, want %+v", *o, want)
+	}
+}
+
+func TestRegisterFlagsDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	o := registerFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	want := options{run: "all"}
+	if *o != want {
+		t.Errorf("default options = %+v, want %+v", *o, want)
+	}
+	// Every option field must be reachable from the command line.
+	for _, name := range []string{"run", "out", "markdown", "jobs", "cpuprofile", "memprofile"} {
+		if fs.Lookup(name) == nil {
+			t.Errorf("flag -%s not registered", name)
+		}
+	}
+}
+
+func TestStartProfilesWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	stop, err := startProfiles(cpu, mem)
+	if err != nil {
+		t.Fatalf("startProfiles: %v", err)
+	}
+	// Do a little work so the CPU profile has something to record.
+	sink := 0
+	for i := 0; i < 1e6; i++ {
+		sink += i
+	}
+	_ = sink
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	for _, name := range []string{cpu, mem} {
+		fi, err := os.Stat(name)
+		if err != nil {
+			t.Errorf("profile %s not written: %v", name, err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", name)
+		}
+	}
+}
+
+func TestStartProfilesNoop(t *testing.T) {
+	stop, err := startProfiles("", "")
+	if err != nil {
+		t.Fatalf("startProfiles: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
 }
 
 func TestRunOneUnknownID(t *testing.T) {

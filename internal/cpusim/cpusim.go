@@ -131,6 +131,23 @@ type CPU struct {
 	spinCores int
 	job       *jobExec
 
+	// Per-P-state derived constants, built once at construction so the
+	// power and job-timing hot paths do table lookups instead of
+	// re-deriving voltage/frequency ratio chains. Entries are computed
+	// with exactly the operation order the formulas used inline, so
+	// results are bit-identical. The busy-core and thread dimensions are
+	// tabulated too (both bounded by the core count) because float
+	// multiplication is non-associative: factoring the ratios out of the
+	// product would change the grouping, and the last bit with it.
+	// The 2-D tables are flattened row-major with stride Cores+1.
+	basePower []units.Power // Platform + static leakage at P-state
+	dynPower  []units.Power // [state·stride+busyCores] dynamic switching power
+	jobDenom  []float64     // [state·stride+threads] ops/s: threads·IPC·f
+	stride    int
+
+	jobEnd func() // bound job-completion callback, allocated once
+	jobBuf jobExec
+
 	lastUpdate time.Duration
 	busy       time.Duration
 	energy     units.Energy
@@ -145,7 +162,8 @@ type jobExec struct {
 	remOps   float64
 	segStart time.Duration
 	segT     time.Duration
-	endEvent *sim.Event
+	name     string // job event label, built once at Run
+	endEvent sim.Event
 }
 
 // New creates a CPU bound to the engine, booting at the lowest P-state.
@@ -154,7 +172,28 @@ func New(e *sim.Engine, cfg Config) *CPU {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &CPU{cfg: cfg, engine: e, lastUpdate: e.Now()}
+	c := &CPU{cfg: cfg, engine: e, lastUpdate: e.Now()}
+	c.jobEnd = func() {
+		c.accrue()
+		c.finishJob()
+	}
+	top := cfg.PStates[len(cfg.PStates)-1]
+	c.stride = cfg.Cores + 1
+	c.basePower = make([]units.Power, len(cfg.PStates))
+	c.dynPower = make([]units.Power, len(cfg.PStates)*c.stride)
+	c.jobDenom = make([]float64, len(cfg.PStates)*c.stride)
+	for l, ps := range cfg.PStates {
+		vr := float64(ps.Voltage) / float64(top.Voltage)
+		fr := float64(ps.Frequency) / float64(top.Frequency)
+		c.basePower[l] = cfg.Power.Platform + units.Power(float64(cfg.Cores)*vr)*cfg.Power.StaticPerCore
+		for n := 0; n <= cfg.Cores; n++ {
+			c.dynPower[l*c.stride+n] = units.Power(float64(n)*fr*vr*vr) * cfg.Power.DynPerCore
+			if n > 0 {
+				c.jobDenom[l*c.stride+n] = float64(n) * cfg.IPC * float64(ps.Frequency)
+			}
+		}
+	}
+	return c
 }
 
 // Config returns the device configuration.
@@ -229,7 +268,10 @@ func (c *CPU) Run(j *Job) {
 	}
 	c.accrue()
 	j.started = c.engine.Now()
-	c.job = &jobExec{job: j, cores: cores, remOps: j.Ops}
+	// One job runs at a time, so its execution state lives in a reused
+	// buffer rather than a fresh allocation.
+	c.jobBuf = jobExec{job: j, cores: cores, remOps: j.Ops, name: "cpu:" + j.Name}
+	c.job = &c.jobBuf
 	c.startSegment()
 }
 
@@ -275,14 +317,7 @@ func (c *CPU) IdlePowerAt(level int) units.Power {
 }
 
 func (c *CPU) powerAt(level, busyCores int) units.Power {
-	ps := c.cfg.PStates[level]
-	top := c.cfg.PStates[len(c.cfg.PStates)-1]
-	vr := float64(ps.Voltage) / float64(top.Voltage)
-	fr := float64(ps.Frequency) / float64(top.Frequency)
-	p := c.cfg.Power
-	static := units.Power(float64(c.cfg.Cores)*vr) * p.StaticPerCore
-	dyn := units.Power(float64(busyCores)*fr*vr*vr) * p.DynPerCore
-	return p.Platform + static + dyn
+	return c.basePower[level] + c.dynPower[level*c.stride+busyCores]
 }
 
 // Counters returns a snapshot of cumulative accounting as of now.
@@ -304,11 +339,11 @@ func (c *CPU) JobTime(ops float64, threads, level int) time.Duration {
 	if threads <= 0 || threads > c.cfg.Cores {
 		threads = c.cfg.Cores
 	}
-	f := c.cfg.PStates[level].Frequency
+	denom := c.jobDenom[level*c.stride+threads]
 	if ops <= 0 {
 		return 0
 	}
-	return units.Seconds(ops / (float64(threads) * c.cfg.IPC * float64(f)))
+	return units.Seconds(ops / denom)
 }
 
 func (c *CPU) accrue() {
@@ -347,10 +382,7 @@ func (c *CPU) startSegment() {
 		c.finishJob()
 		return
 	}
-	je.endEvent = c.engine.After(t, "cpu:"+je.job.Name, func() {
-		c.accrue()
-		c.finishJob()
-	})
+	je.endEvent = c.engine.After(t, je.name, c.jobEnd)
 }
 
 func (c *CPU) finishJob() {

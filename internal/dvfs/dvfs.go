@@ -130,6 +130,15 @@ type Scaler struct {
 	memUMean  []float64
 	table     weightTable
 
+	// Scratch buffers reused across Steps so the per-interval update is
+	// allocation-free: per-level domain losses and the combined per-pair
+	// loss vector. Eq. 3 is separable in (i, j), so the N·M pair losses
+	// need only N+M Loss evaluations.
+	lcBuf   []float64
+	lmBuf   []float64
+	lossBuf []float64
+	lossAt  func(idx int) float64 // reads lossBuf; bound once, reused by Update
+
 	steps int
 }
 
@@ -158,12 +167,17 @@ func newScaler(coreLevels, memLevels []units.Frequency, p Params, mk func(n int)
 	}
 	cu := UMeans(coreLevels)
 	mu := UMeans(memLevels)
-	return &Scaler{
+	s := &Scaler{
 		params:    p,
 		coreUMean: cu,
 		memUMean:  mu,
 		table:     mk(len(cu) * len(mu)),
+		lcBuf:     make([]float64, len(cu)),
+		lmBuf:     make([]float64, len(mu)),
+		lossBuf:   make([]float64, len(cu)*len(mu)),
 	}
+	s.lossAt = func(idx int) float64 { return s.lossBuf[idx] }
+	return s
 }
 
 // Params returns the scaler's tuning constants.
@@ -195,13 +209,34 @@ func (s *Scaler) TotalLoss(i, j int, uCore, uMem float64) float64 {
 // Step runs one interval of Algorithm 1: update every pair's weight from
 // the measured utilizations, then return the highest-weighted pair to
 // enforce for the next interval.
+//
+// The pair losses are assembled from per-level domain losses (Eq. 3 is
+// separable) into a reused scratch vector, with the same operation order as
+// TotalLoss — Step(u_c, u_m) agrees bit-for-bit with charging TotalLoss
+// pair by pair, at N+M rather than 2·N·M Loss evaluations and zero
+// allocations.
 func (s *Scaler) Step(uCore, uMem float64) Decision {
-	m := len(s.memUMean)
-	s.table.Update(func(idx int) float64 {
-		return s.TotalLoss(idx/m, idx%m, uCore, uMem)
-	})
+	uCore = sanitizeUtil(uCore)
+	uMem = sanitizeUtil(uMem)
+	for i, um := range s.coreUMean {
+		s.lcBuf[i] = Loss(uCore, um, s.params.AlphaCore)
+	}
+	for j, um := range s.memUMean {
+		s.lmBuf[j] = Loss(uMem, um, s.params.AlphaMem)
+	}
+	phi, oneMinusPhi := s.params.Phi, 1-s.params.Phi
+	k := 0
+	for i := range s.coreUMean {
+		lc := phi * s.lcBuf[i]
+		for j := range s.memUMean {
+			s.lossBuf[k] = lc + oneMinusPhi*s.lmBuf[j]
+			k++
+		}
+	}
+	s.table.Update(s.lossAt)
 	s.steps++
 	best := s.table.Best()
+	m := len(s.memUMean)
 	return Decision{CoreLevel: best / m, MemLevel: best % m}
 }
 

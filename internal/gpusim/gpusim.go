@@ -197,6 +197,20 @@ type GPU struct {
 	memLevel  int
 	activeSMs int
 
+	// Per-frequency-level derived constants, built once at construction
+	// (core tables rebuilt on SetActiveSMs) so advance/power hot paths do
+	// table lookups instead of re-deriving multiplication chains. The
+	// entries are computed with exactly the operation order the formulas
+	// used inline, so results are bit-identical.
+	coreDenom  []float64 // ops/s at core level: activeSMs·SPsPerSM·IPC·f
+	memDenom   []float64 // bytes/s at mem level: BytesPerMemCycle·f
+	coreFRatio []float64 // f_core(level)/f_core(peak)
+	memFRatio  []float64 // f_mem(level)/f_mem(peak)
+	coreScale  float64   // gating factor (1-CoreGatable)+CoreGatable·activeSMs/SMs
+
+	phaseEnd func() // bound onPhaseEnd, allocated once
+	execBuf  execState
+
 	queue   []*Kernel
 	running *execState
 
@@ -222,7 +236,8 @@ type execState struct {
 	uCore    float64
 	uMem     float64
 
-	endEvent *sim.Event
+	name     string // phase event label, built once per kernel
+	endEvent sim.Event
 }
 
 // New creates a GPU bound to the engine. The device boots at the lowest
@@ -232,7 +247,37 @@ func New(e *sim.Engine, cfg Config) *GPU {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &GPU{cfg: cfg, engine: e, activeSMs: cfg.SMs, lastUpdate: e.Now()}
+	g := &GPU{cfg: cfg, engine: e, activeSMs: cfg.SMs, lastUpdate: e.Now()}
+	g.phaseEnd = g.onPhaseEnd
+	nc, nm := len(cfg.CoreLevels), len(cfg.MemLevels)
+	buf := make([]float64, 2*nc+2*nm) // one backing array for all four tables
+	g.coreDenom, buf = buf[:nc:nc], buf[nc:]
+	g.coreFRatio, buf = buf[:nc:nc], buf[nc:]
+	g.memDenom, buf = buf[:nm:nm], buf[nm:]
+	g.memFRatio = buf[:nm:nm]
+	corePeak := float64(cfg.CoreLevels[len(cfg.CoreLevels)-1])
+	for i, f := range cfg.CoreLevels {
+		g.coreFRatio[i] = float64(f) / corePeak
+	}
+	memPeak := float64(cfg.MemLevels[len(cfg.MemLevels)-1])
+	for i, f := range cfg.MemLevels {
+		g.memDenom[i] = cfg.BytesPerMemCycle * float64(f)
+		g.memFRatio[i] = float64(f) / memPeak
+	}
+	g.rebuildCoreTables()
+	return g
+}
+
+// rebuildCoreTables refreshes the derived constants that depend on the
+// active-SM count. Called at construction and from SetActiveSMs.
+func (g *GPU) rebuildCoreTables() {
+	sps := float64(g.activeSMs * g.cfg.SPsPerSM)
+	for i, f := range g.cfg.CoreLevels {
+		g.coreDenom[i] = sps * g.cfg.IPC * float64(f)
+	}
+	actFrac := float64(g.activeSMs) / float64(g.cfg.SMs)
+	p := g.cfg.Power
+	g.coreScale = (1 - p.CoreGatable) + p.CoreGatable*actFrac
 }
 
 // Config returns the device configuration.
@@ -258,7 +303,7 @@ func (g *GPU) MemFrequency() units.Frequency { return g.cfg.MemLevels[g.memLevel
 
 // PeakBandwidth returns the rated bandwidth at the current memory clock.
 func (g *GPU) PeakBandwidth() units.Bandwidth {
-	return units.Bandwidth(g.cfg.BytesPerMemCycle * float64(g.MemFrequency()))
+	return units.Bandwidth(g.memDenom[g.memLevel])
 }
 
 // Busy reports whether a kernel is executing.
@@ -303,6 +348,7 @@ func (g *GPU) SetActiveSMs(n int) {
 	}
 	g.accrue()
 	g.activeSMs = n
+	g.rebuildCoreTables()
 	if g.running != nil {
 		g.carryOver()
 		g.startSegment()
@@ -377,14 +423,11 @@ func (g *GPU) PhaseUtilization(ops, bytes, stall float64, core, mem int) (float6
 }
 
 func (g *GPU) demandTimes(ops, bytes float64, core, mem int) (tc, tm time.Duration) {
-	fc := g.cfg.CoreLevels[core]
-	fm := g.cfg.MemLevels[mem]
-	sps := float64(g.activeSMs * g.cfg.SPsPerSM)
 	if ops > 0 {
-		tc = units.Seconds(ops / (sps * g.cfg.IPC * float64(fc)))
+		tc = units.Seconds(ops / g.coreDenom[core])
 	}
 	if bytes > 0 {
-		tm = units.Seconds(bytes / (g.cfg.BytesPerMemCycle * float64(fm)))
+		tm = units.Seconds(bytes / g.memDenom[mem])
 	}
 	return tc, tm
 }
@@ -402,12 +445,10 @@ func unifyPhaseTime(tc, tm time.Duration, stall, gamma float64) time.Duration {
 
 func (g *GPU) power(uc, um float64) units.Power {
 	p := g.cfg.Power
-	fcR := float64(g.CoreFrequency()) / float64(g.cfg.CoreLevels[len(g.cfg.CoreLevels)-1])
-	fmR := float64(g.MemFrequency()) / float64(g.cfg.MemLevels[len(g.cfg.MemLevels)-1])
-	actFrac := float64(g.activeSMs) / float64(g.cfg.SMs)
-	coreScale := (1 - p.CoreGatable) + p.CoreGatable*actFrac
+	fcR := g.coreFRatio[g.coreLevel]
+	fmR := g.memFRatio[g.memLevel]
 	return p.Board +
-		units.Power(fcR*coreScale)*(p.CoreClockTree+units.Power(uc)*p.CoreDynamic) +
+		units.Power(fcR*g.coreScale)*(p.CoreClockTree+units.Power(uc)*p.CoreDynamic) +
 		units.Power(fmR)*(p.MemClockTree+units.Power(um)*p.MemDynamic)
 }
 
@@ -445,7 +486,11 @@ func (g *GPU) carryOver() {
 func (g *GPU) start(k *Kernel) {
 	g.accrue()
 	k.started = g.engine.Now()
-	g.running = &execState{kernel: k, phaseIdx: 0}
+	// One kernel runs at a time, so its execution state lives in a reused
+	// buffer rather than a fresh allocation, and the diagnostic event
+	// label is built once per kernel rather than per phase.
+	g.execBuf = execState{kernel: k, name: "gpu:" + k.Name}
+	g.running = &g.execBuf
 	g.loadPhase()
 }
 
@@ -480,8 +525,7 @@ func (g *GPU) startSegment() {
 	}
 	es.uCore = units.Clamp(tc.Seconds()/t.Seconds(), 0, 1)
 	es.uMem = units.Clamp(tm.Seconds()/t.Seconds(), 0, 1)
-	name := fmt.Sprintf("gpu:%s:phase%d", es.kernel.Name, es.phaseIdx)
-	es.endEvent = g.engine.After(t, name, g.onPhaseEnd)
+	es.endEvent = g.engine.After(t, es.name, g.phaseEnd)
 }
 
 func (g *GPU) onPhaseEnd() {

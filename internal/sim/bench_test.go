@@ -9,8 +9,10 @@ import (
 // the floor cost of every simulated state transition.
 func BenchmarkEventThroughput(b *testing.B) {
 	e := New()
+	fn := func() {}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		e.Schedule(e.Now()+time.Microsecond, "b", func() {})
+		e.Schedule(e.Now()+time.Microsecond, "b", fn)
 		e.Step()
 	}
 }
@@ -19,6 +21,7 @@ func BenchmarkEventThroughput(b *testing.B) {
 func BenchmarkTicker(b *testing.B) {
 	e := New()
 	e.Every(time.Second, "tick", func() {})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Step()
@@ -29,14 +32,52 @@ func BenchmarkTicker(b *testing.B) {
 // re-timing in-flight kernel phases.
 func BenchmarkCancel(b *testing.B) {
 	e := New()
-	evs := make([]*Event, 0, 1024)
+	fn := func() {}
+	evs := make([]Event, 0, 1024)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if len(evs) == 0 {
 			for j := 0; j < 1024; j++ {
-				evs = append(evs, e.Schedule(e.Now()+time.Duration(j+1)*time.Millisecond, "c", func() {}))
+				evs = append(evs, e.Schedule(e.Now()+time.Duration(j+1)*time.Millisecond, "c", fn))
 			}
 		}
 		e.Cancel(evs[len(evs)-1])
 		evs = evs[:len(evs)-1]
+	}
+}
+
+// BenchmarkScheduleCancelChurn measures the cancel-then-reschedule pattern
+// the DVFS tier drives on every frequency change: the pending completion
+// event is cancelled and a new one scheduled at the re-timed instant. With
+// pooling this is a pure heap exercise, zero allocations.
+func BenchmarkScheduleCancelChurn(b *testing.B) {
+	e := New()
+	fn := func() {}
+	// A standing population of events keeps the heap realistically deep.
+	for j := 0; j < 256; j++ {
+		e.Schedule(e.Now()+time.Duration(j+1)*time.Second, "bg", fn)
+	}
+	ev := e.Schedule(e.Now()+time.Millisecond, "churn", fn)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Cancel(ev)
+		ev = e.Schedule(e.Now()+time.Duration(i%1000+1)*time.Millisecond, "churn", fn)
+	}
+}
+
+// BenchmarkDeepHeap measures schedule/fire with a deep standing queue,
+// where the 4-ary layout's shallower sift paths matter most.
+func BenchmarkDeepHeap(b *testing.B) {
+	e := New()
+	fn := func() {}
+	for j := 0; j < 4096; j++ {
+		e.Schedule(e.Now()+time.Duration(j+1)*time.Hour, "bg", fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.Now()+time.Microsecond, "hot", fn)
+		e.Step()
 	}
 }

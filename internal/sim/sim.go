@@ -8,10 +8,21 @@
 // The GreenGPU testbed is built entirely on this engine: devices advance
 // their internal state lazily when observed, and controllers (the DVFS tier,
 // the ondemand governor, the workload-division tier) run as periodic events.
+//
+// # Allocation-free scheduling
+//
+// The engine recycles event nodes through a free list, so steady-state
+// Schedule/fire churn (device phase completions, controller ticks) allocates
+// nothing. Schedule returns an Event handle — a small value, not a pointer
+// to engine-owned memory — that carries a generation counter. When a node
+// fires or is cancelled it returns to the pool and its generation is bumped;
+// a handle whose generation no longer matches is stale and every operation
+// on it (Cancel, Scheduled) degrades to a safe no-op. Stale handles are
+// therefore detected, never dangling: cancelling an event that already fired
+// cannot kill an unrelated event that happens to reuse its node.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -25,6 +36,7 @@ const MaxTime = time.Duration(math.MaxInt64)
 type Engine struct {
 	now     time.Duration
 	queue   eventHeap
+	free    []*event // recycled nodes, reused by the next Schedule
 	seq     uint64
 	stopped bool
 }
@@ -38,43 +50,81 @@ func (e *Engine) Now() time.Duration { return e.now }
 // Pending returns the number of events currently scheduled.
 func (e *Engine) Pending() int { return len(e.queue) }
 
-// Event is a scheduled callback. It can be cancelled before it fires.
-type Event struct {
+// event is a pooled queue node. Nodes are owned by the engine and recycled
+// on fire/cancel; external code only ever sees Event handles.
+type event struct {
 	at    time.Duration
 	seq   uint64
-	name  string
 	fn    func()
-	index int // heap index, -1 once fired or cancelled
+	name  string
+	index int32  // heap index, -1 while pooled
+	gen   uint64 // bumped on every recycle; stale handles mismatch
+}
+
+// Event is a handle to a scheduled callback. It is a small value, safe to
+// copy and to keep after the callback fires: once the event has fired or
+// been cancelled the handle is stale, Scheduled reports false, and Cancel is
+// a no-op — even if the engine has reused the underlying node for a newer
+// event. The zero Event behaves like a handle to an already-released event.
+type Event struct {
+	node *event
+	gen  uint64
+	at   time.Duration
+	name string
 }
 
 // Time returns the instant the event is (or was) scheduled to fire.
-func (ev *Event) Time() time.Duration { return ev.at }
+func (ev Event) Time() time.Duration { return ev.at }
 
 // Name returns the diagnostic label given at scheduling time.
-func (ev *Event) Name() string { return ev.name }
+func (ev Event) Name() string { return ev.name }
 
 // Scheduled reports whether the event is still pending.
-func (ev *Event) Scheduled() bool { return ev.index >= 0 }
+func (ev Event) Scheduled() bool {
+	return ev.node != nil && ev.node.gen == ev.gen && ev.node.index >= 0
+}
+
+// alloc takes a node from the free list, or grows the pool.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{index: -1}
+}
+
+// recycle returns a node to the pool, invalidating all outstanding handles
+// to it by bumping the generation. The callback is dropped so the pool does
+// not retain closures (and whatever they capture) between uses.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.name = ""
+	ev.index = -1
+	ev.gen++
+	e.free = append(e.free, ev)
+}
 
 // Schedule registers fn to run at absolute simulation time at. Scheduling in
 // the past (before Now) panics: it would silently corrupt causality.
-func (e *Engine) Schedule(at time.Duration, name string, fn func()) *Event {
+func (e *Engine) Schedule(at time.Duration, name string, fn func()) Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling %q at %v which is before now %v", name, at, e.now))
 	}
 	if fn == nil {
 		panic("sim: Schedule with nil callback")
 	}
-	ev := &Event{at: at, seq: e.seq, name: name, fn: fn}
+	ev := e.alloc()
+	ev.at, ev.seq, ev.name, ev.fn = at, e.seq, name, fn
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	e.queue.push(ev)
+	return Event{node: ev, gen: ev.gen, at: at, name: name}
 }
 
 // After registers fn to run d after the current time. Delays that would
 // overflow the simulation clock saturate at MaxTime (an event effectively
 // beyond any run's horizon) instead of wrapping into the past.
-func (e *Engine) After(d time.Duration, name string, fn func()) *Event {
+func (e *Engine) After(d time.Duration, name string, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: After(%v) with negative delay", d))
 	}
@@ -85,26 +135,34 @@ func (e *Engine) After(d time.Duration, name string, fn func()) *Event {
 	return e.Schedule(at, name, fn)
 }
 
-// Cancel removes the event from the queue. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.index < 0 {
+// Cancel removes the event from the queue and recycles its node.
+// Cancelling an already-fired, already-cancelled, stale, or zero handle is
+// a no-op.
+func (e *Engine) Cancel(ev Event) {
+	n := ev.node
+	if n == nil || n.gen != ev.gen || n.index < 0 {
 		return
 	}
-	heap.Remove(&e.queue, ev.index)
-	ev.index = -1
+	e.queue.remove(int(n.index))
+	e.recycle(n)
 }
 
 // Step fires the single earliest pending event, advancing the clock to its
 // activation time. It reports whether an event was processed.
+//
+// The node is recycled before the callback runs, so a callback that
+// schedules new work may be handed the node it is firing from — handles
+// held by the callback's creator are already stale by then and cannot
+// interfere with the new event.
 func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
-	ev.index = -1
+	ev := e.queue.pop()
 	e.now = ev.at
-	ev.fn()
+	fn := ev.fn
+	e.recycle(ev)
+	fn()
 	return true
 }
 
@@ -148,7 +206,8 @@ type Ticker struct {
 	period  time.Duration
 	name    string
 	fn      func()
-	ev      *Event
+	tick    func() // bound once at Every; re-arming reuses it, no per-tick closure
+	ev      Event
 	stopped bool
 }
 
@@ -159,12 +218,7 @@ func (e *Engine) Every(period time.Duration, name string, fn func()) *Ticker {
 		panic(fmt.Sprintf("sim: Every(%v) with non-positive period", period))
 	}
 	t := &Ticker{engine: e, period: period, name: name, fn: fn}
-	t.arm()
-	return t
-}
-
-func (t *Ticker) arm() {
-	t.ev = t.engine.After(t.period, t.name, func() {
+	t.tick = func() {
 		if t.stopped {
 			return
 		}
@@ -172,7 +226,13 @@ func (t *Ticker) arm() {
 		if !t.stopped {
 			t.arm()
 		}
-	})
+	}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.engine.After(t.period, t.name, t.tick)
 }
 
 // Stop cancels future firings. A tick already being processed completes.
@@ -184,35 +244,110 @@ func (t *Ticker) Stop() {
 // Period returns the ticker's firing period.
 func (t *Ticker) Period() time.Duration { return t.period }
 
-// eventHeap is a min-heap on (at, seq).
-type eventHeap []*Event
+// heapArity is the fan-out of the event queue. A 4-ary heap halves tree
+// depth versus a binary heap: sift paths touch fewer cache lines at the
+// cost of a few extra in-line comparisons per level, a good trade for the
+// Schedule/Step churn the device models generate.
+const heapArity = 4
 
-func (h eventHeap) Len() int { return len(h) }
+// eventHeap is an indexed min-heap on (at, seq). Sifts move elements along
+// the hole rather than swapping, and pop/remove reset the departing node's
+// index themselves so no call site can forget to.
+type eventHeap []*event
 
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (h eventHeap) less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+// siftUp moves the element at i toward the root and returns its final index.
+func (h eventHeap) siftUp(i int) int {
+	ev := h[i]
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if !h.less(ev, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		h[i].index = int32(i)
+		i = p
+	}
+	h[i] = ev
+	ev.index = int32(i)
+	return i
 }
 
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
+// siftDown moves the element at i toward the leaves and returns its final
+// index.
+func (h eventHeap) siftDown(i int) int {
+	ev := h[i]
+	n := len(h)
+	for {
+		c := heapArity*i + 1
+		if c >= n {
+			break
+		}
+		m := c
+		hi := c + heapArity
+		if hi > n {
+			hi = n
+		}
+		for k := c + 1; k < hi; k++ {
+			if h.less(h[k], h[m]) {
+				m = k
+			}
+		}
+		if !h.less(h[m], ev) {
+			break
+		}
+		h[i] = h[m]
+		h[i].index = int32(i)
+		i = m
+	}
+	h[i] = ev
+	ev.index = int32(i)
+	return i
+}
+
+func (h *eventHeap) push(ev *event) {
 	*h = append(*h, ev)
+	ev.index = int32(len(*h) - 1)
+	h.siftUp(len(*h) - 1)
 }
 
-func (h *eventHeap) Pop() any {
+// pop removes and returns the minimum event with its index reset to -1.
+func (h *eventHeap) pop() *event {
 	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+	top := old[0]
+	n := len(old) - 1
+	last := old[n]
+	old[n] = nil
+	*h = old[:n]
+	if n > 0 {
+		old[0] = last
+		h.siftDown(0)
+	}
+	top.index = -1
+	return top
+}
+
+// remove removes the event at heap index i with its index reset to -1.
+func (h *eventHeap) remove(i int) *event {
+	old := *h
+	ev := old[i]
+	n := len(old) - 1
+	last := old[n]
+	old[n] = nil
+	*h = old[:n]
+	if i < n {
+		old[i] = last
+		last.index = int32(i)
+		if h.siftDown(i) == i {
+			h.siftUp(i)
+		}
+	}
+	ev.index = -1
 	return ev
 }

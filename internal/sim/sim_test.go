@@ -90,15 +90,15 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	// Double-cancel and nil-cancel are no-ops.
+	// Double-cancel and zero-handle cancel are no-ops.
 	e.Cancel(ev)
-	e.Cancel(nil)
+	e.Cancel(Event{})
 }
 
 func TestCancelMiddleOfHeap(t *testing.T) {
 	e := New()
 	var got []int
-	evs := make([]*Event, 10)
+	evs := make([]Event, 10)
 	for i := 0; i < 10; i++ {
 		i := i
 		evs[i] = e.Schedule(time.Duration(i+1)*time.Second, "n", func() { got = append(got, i) })
@@ -314,6 +314,83 @@ func TestRunUntilSplitProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+// The pooling contract: a handle to a fired event is stale, and stale
+// handles are inert even after the engine reuses the node for a new event.
+func TestStaleHandleAfterFire(t *testing.T) {
+	e := New()
+	first := e.Schedule(time.Second, "first", func() {})
+	e.Run()
+	if first.Scheduled() {
+		t.Fatal("fired event still reports Scheduled")
+	}
+	// The pool reuses first's node for the next event.
+	fired := false
+	second := e.Schedule(2*time.Second, "second", func() { fired = true })
+	if first.Scheduled() {
+		t.Fatal("stale handle reports Scheduled after node reuse")
+	}
+	// Cancelling the stale handle must not kill the event that now owns
+	// the node.
+	e.Cancel(first)
+	if !second.Scheduled() {
+		t.Fatal("stale cancel killed an unrelated reused event")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("reused event never fired")
+	}
+	// Accessors on stale handles keep reporting scheduling-time values.
+	if first.Time() != time.Second || first.Name() != "first" {
+		t.Errorf("stale handle accessors = (%v, %q)", first.Time(), first.Name())
+	}
+}
+
+// A cancelled event's node is recycled immediately; the cancelled handle
+// must stay inert across reuse just like a fired one.
+func TestStaleHandleAfterCancel(t *testing.T) {
+	e := New()
+	a := e.Schedule(time.Second, "a", func() { t.Fatal("cancelled event fired") })
+	e.Cancel(a)
+	ok := false
+	b := e.Schedule(time.Second, "b", func() { ok = true })
+	e.Cancel(a) // stale: must not cancel b
+	if !b.Scheduled() {
+		t.Fatal("stale double-cancel killed the reused event")
+	}
+	e.Run()
+	if !ok {
+		t.Fatal("event b never fired")
+	}
+}
+
+// Steady-state Schedule/fire churn must not allocate: nodes come from the
+// pool and handles are values.
+func TestScheduleFireDoesNotAllocate(t *testing.T) {
+	e := New()
+	fn := func() {}
+	// Warm the pool.
+	e.Schedule(e.Now(), "warm", fn)
+	e.Step()
+	allocs := testing.AllocsPerRun(100, func() {
+		e.Schedule(e.Now()+time.Microsecond, "x", fn)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("Schedule+Step allocates %v objects per op, want 0", allocs)
+	}
+}
+
+// Ticker ticks re-arm without allocating a closure or a node.
+func TestTickerTickDoesNotAllocate(t *testing.T) {
+	e := New()
+	e.Every(time.Second, "tick", func() {})
+	e.Step() // warm: first pooled node enters circulation
+	allocs := testing.AllocsPerRun(100, func() { e.Step() })
+	if allocs != 0 {
+		t.Errorf("ticker tick allocates %v objects per op, want 0", allocs)
 	}
 }
 

@@ -79,15 +79,21 @@ func (t *Table) Weights() []float64 {
 // since they would let weights grow or go negative and break the WMA regret
 // guarantee.
 func (t *Table) Update(loss func(i int) float64) {
+	oneMinusBeta := 1 - t.beta
+	max := 0.0 // weights are always > 0, so 0 seeds the max scan safely
 	for i := range t.weights {
 		l := loss(i)
 		if l < 0 || l > 1 || math.IsNaN(l) {
 			panic(fmt.Sprintf("wma: loss for expert %d is %v, must be in [0,1]", i, l))
 		}
-		t.weights[i] *= 1 - (1-t.beta)*l
+		w := t.weights[i] * (1 - oneMinusBeta*l)
+		t.weights[i] = w
+		if w > max {
+			max = w
+		}
 	}
 	t.rounds++
-	if t.max() < renormBelow {
+	if max < renormBelow {
 		t.Renormalize()
 	}
 }
