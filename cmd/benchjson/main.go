@@ -6,6 +6,13 @@
 //
 //	go test -bench=. -benchmem ./internal/sim | benchjson > BENCH_sim.json
 //
+// With -compare, benchjson becomes a regression gate instead of a
+// converter: the fresh run on stdin is checked against a committed
+// baseline, and the process exits non-zero when any benchmark slows down
+// beyond the ns/op tolerance, gains a single alloc/op, or disappears:
+//
+//	go test -bench=. -benchmem ./internal/sim | benchjson -compare BENCH_sim.json
+//
 // The parser understands the standard benchmark line format
 //
 //	BenchmarkName-8   1000000   123.4 ns/op   16 B/op   2 allocs/op
@@ -19,6 +26,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -47,10 +55,29 @@ type Report struct {
 }
 
 func main() {
+	compareFile := flag.String("compare", "", "baseline JSON to gate against instead of emitting JSON")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op slowdown vs the baseline (with -compare)")
+	flag.Parse()
+
 	rep, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	aggregate(rep)
+	if *compareFile != "" {
+		base, err := loadReport(*compareFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		aggregate(base)
+		failures := compare(base, rep, *tolerance, os.Stdout)
+		if failures > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark regression(s) vs %s\n", failures, *compareFile)
+			os.Exit(1)
+		}
+		return
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -58,6 +85,103 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// aggregate collapses repeated runs of the same benchmark (go test -count=N)
+// into one entry taking the minimum ns/op — the noise-robust estimator for
+// shared machines, where interference only ever adds time. B/op, allocs/op
+// and custom metrics are kept from the fastest run (allocation counts are
+// deterministic, so every run agrees on them anyway). First-appearance
+// order is preserved.
+func aggregate(rep *Report) {
+	type key struct {
+		pkg, name string
+		procs     int
+	}
+	idx := map[key]int{}
+	out := rep.Benchmarks[:0]
+	for _, b := range rep.Benchmarks {
+		k := key{b.Pkg, b.Name, b.Procs}
+		if i, ok := idx[k]; ok {
+			if b.NsPerOp < out[i].NsPerOp {
+				out[i] = b
+			}
+			continue
+		}
+		idx[k] = len(out)
+		out = append(out, b)
+	}
+	rep.Benchmarks = out
+}
+
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// compare gates a fresh run against the committed baseline and returns the
+// number of failures. Policy: ns/op may drift up to the given fraction
+// above the baseline (micro-benchmarks are noisy); any allocs/op increase
+// fails outright (allocation counts are deterministic, so an increase is a
+// real escape, never noise); a baseline benchmark missing from the run
+// fails (a silently shrinking gate protects nothing). Speedups beyond the
+// tolerance and new benchmarks are flagged as reminders to refresh the
+// baseline, not failures.
+func compare(base, cur *Report, tolerance float64, w io.Writer) int {
+	type key struct{ pkg, name string }
+	current := map[key]Result{}
+	for _, b := range cur.Benchmarks {
+		current[key{b.Pkg, b.Name}] = b
+	}
+	failures := 0
+	fail := func(format string, args ...any) {
+		failures++
+		fmt.Fprintf(w, "FAIL  "+format+"\n", args...)
+	}
+	for _, b := range base.Benchmarks {
+		got, ok := current[key{b.Pkg, b.Name}]
+		if !ok {
+			fail("%s %s: in baseline but not in this run", b.Pkg, b.Name)
+			continue
+		}
+		delete(current, key{b.Pkg, b.Name})
+		switch ratio := got.NsPerOp / b.NsPerOp; {
+		case b.NsPerOp == 0:
+		case ratio > 1+tolerance:
+			fail("%s %s: %.2f ns/op vs baseline %.2f (+%.0f%%, tolerance %.0f%%)",
+				b.Pkg, b.Name, got.NsPerOp, b.NsPerOp, (ratio-1)*100, tolerance*100)
+		case ratio < 1-tolerance:
+			fmt.Fprintf(w, "note  %s %s: %.2f ns/op vs baseline %.2f (%.0f%% faster — refresh the baseline)\n",
+				b.Pkg, b.Name, got.NsPerOp, b.NsPerOp, (1-ratio)*100)
+		}
+		if b.AllocsInfo != nil {
+			switch {
+			case got.AllocsInfo == nil:
+				fail("%s %s: baseline records %.0f allocs/op but this run has no allocation data (run with -benchmem)",
+					b.Pkg, b.Name, *b.AllocsInfo)
+			case *got.AllocsInfo > *b.AllocsInfo:
+				fail("%s %s: %.0f allocs/op vs baseline %.0f — allocation increases are hard failures",
+					b.Pkg, b.Name, *got.AllocsInfo, *b.AllocsInfo)
+			}
+		}
+	}
+	for _, b := range cur.Benchmarks {
+		if _, unmatched := current[key{b.Pkg, b.Name}]; unmatched {
+			fmt.Fprintf(w, "note  %s %s: not in baseline (new benchmark — refresh the baseline)\n", b.Pkg, b.Name)
+		}
+	}
+	if failures == 0 {
+		fmt.Fprintf(w, "ok    %d benchmarks within ±%.0f%% ns/op of baseline, no allocs/op increases\n",
+			len(base.Benchmarks), tolerance*100)
+	}
+	return failures
 }
 
 func parse(r io.Reader) (*Report, error) {

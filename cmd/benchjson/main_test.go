@@ -94,6 +94,108 @@ func TestParseBenchLineShapes(t *testing.T) {
 	}
 }
 
+// gate runs compare over two reports built from benchmark text and returns
+// the failure count and report output.
+func gate(t *testing.T, baseText, curText string, tolerance float64) (int, string) {
+	t.Helper()
+	base, err := parse(strings.NewReader(baseText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := parse(strings.NewReader(curText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	n := compare(base, cur, tolerance, &out)
+	return n, out.String()
+}
+
+func TestAggregateTakesMinPerBenchmark(t *testing.T) {
+	in := `pkg: p
+BenchmarkA-8 100 30.0 ns/op 0 B/op 0 allocs/op
+BenchmarkB-8 100 9.0 ns/op
+BenchmarkA-8 100 10.0 ns/op 0 B/op 0 allocs/op
+BenchmarkA-8 100 20.0 ns/op 0 B/op 0 allocs/op
+`
+	rep, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggregate(rep)
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks after aggregation, want 2", len(rep.Benchmarks))
+	}
+	// First-appearance order, min ns/op.
+	if rep.Benchmarks[0].Name != "BenchmarkA" || rep.Benchmarks[0].NsPerOp != 10.0 {
+		t.Errorf("A = %q %.1f ns/op, want min 10.0", rep.Benchmarks[0].Name, rep.Benchmarks[0].NsPerOp)
+	}
+	if rep.Benchmarks[1].Name != "BenchmarkB" || rep.Benchmarks[1].NsPerOp != 9.0 {
+		t.Errorf("B = %q %.1f ns/op", rep.Benchmarks[1].Name, rep.Benchmarks[1].NsPerOp)
+	}
+}
+
+func TestCompareWithinToleranceOK(t *testing.T) {
+	base := "pkg: p\nBenchmarkA-8 100 100.0 ns/op 0 B/op 0 allocs/op\n"
+	cur := "pkg: p\nBenchmarkA-8 100 120.0 ns/op 0 B/op 0 allocs/op\n"
+	n, out := gate(t, base, cur, 0.25)
+	if n != 0 {
+		t.Fatalf("%d failures within tolerance:\n%s", n, out)
+	}
+	if !strings.Contains(out, "ok") {
+		t.Errorf("no ok line:\n%s", out)
+	}
+}
+
+func TestCompareNsPerOpRegressionFails(t *testing.T) {
+	base := "pkg: p\nBenchmarkA-8 100 100.0 ns/op\n"
+	cur := "pkg: p\nBenchmarkA-8 100 130.0 ns/op\n"
+	if n, out := gate(t, base, cur, 0.25); n != 1 {
+		t.Fatalf("failures = %d, want 1 for +30%% at 25%% tolerance:\n%s", n, out)
+	}
+}
+
+func TestCompareAllocIncreaseIsHardFail(t *testing.T) {
+	base := "pkg: p\nBenchmarkA-8 100 100.0 ns/op 0 B/op 0 allocs/op\n"
+	// Even a massive speedup cannot excuse a single new alloc/op.
+	cur := "pkg: p\nBenchmarkA-8 100 50.0 ns/op 16 B/op 1 allocs/op\n"
+	n, out := gate(t, base, cur, 0.25)
+	if n != 1 {
+		t.Fatalf("failures = %d, want 1 for the alloc increase:\n%s", n, out)
+	}
+	if !strings.Contains(out, "allocs/op") {
+		t.Errorf("failure does not name allocs/op:\n%s", out)
+	}
+}
+
+func TestCompareMissingAllocDataFails(t *testing.T) {
+	base := "pkg: p\nBenchmarkA-8 100 100.0 ns/op 0 B/op 0 allocs/op\n"
+	cur := "pkg: p\nBenchmarkA-8 100 100.0 ns/op\n" // ran without -benchmem
+	if n, out := gate(t, base, cur, 0.25); n != 1 {
+		t.Fatalf("failures = %d, want 1 for missing allocation data:\n%s", n, out)
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	base := "pkg: p\nBenchmarkA-8 100 100.0 ns/op\nBenchmarkB-8 100 100.0 ns/op\n"
+	cur := "pkg: p\nBenchmarkA-8 100 100.0 ns/op\n"
+	if n, out := gate(t, base, cur, 0.25); n != 1 {
+		t.Fatalf("failures = %d, want 1 for the vanished benchmark:\n%s", n, out)
+	}
+}
+
+func TestCompareNewAndFasterAreNotes(t *testing.T) {
+	base := "pkg: p\nBenchmarkA-8 100 100.0 ns/op\n"
+	cur := "pkg: p\nBenchmarkA-8 100 10.0 ns/op\nBenchmarkNew-8 100 5.0 ns/op\n"
+	n, out := gate(t, base, cur, 0.25)
+	if n != 0 {
+		t.Fatalf("failures = %d, want 0 (speedups and new benchmarks are notes):\n%s", n, out)
+	}
+	if !strings.Contains(out, "faster") || !strings.Contains(out, "not in baseline") {
+		t.Errorf("notes missing:\n%s", out)
+	}
+}
+
 func TestParseBenchLineKeepsSubBenchName(t *testing.T) {
 	// Sub-benchmark names contain slashes and may contain dashes that are
 	// not a procs suffix.

@@ -16,6 +16,21 @@
 // deterministic seeding, so the output is byte-identical for every -jobs
 // value; the flag only trades wall-clock time for cores.
 //
+// Repeated simulation points are memoized through a content-addressed run
+// cache (see internal/runcache): shared points like the best-performance
+// baseline simulate once and replay everywhere else, with concurrent
+// requests single-flighted onto one computation. The cache never changes
+// output — results are deterministic and returned as private copies — so
+// stdout and CSVs are byte-identical with the cache on or off. Cache
+// effectiveness counters print to stderr at exit.
+//
+//	experiments -no-cache           # disable memoization entirely
+//	experiments -cache-dir .cache   # persist points across runs (gob files
+//	                                # under a schema-versioned subdirectory)
+//	experiments -bench-cache BENCH_experiments.json
+//	                                # time the suite no-cache/cold/warm and
+//	                                # write the measurements as JSON
+//
 // The -cpuprofile and -memprofile flags write pprof profiles covering the
 // full run, for inspecting the simulator's hot paths (see docs/PERF.md):
 //
@@ -24,6 +39,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -32,8 +48,10 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"greengpu/internal/experiments"
+	"greengpu/internal/runcache"
 	"greengpu/internal/trace"
 )
 
@@ -47,6 +65,9 @@ type options struct {
 	jobs       int
 	cpuprofile string
 	memprofile string
+	noCache    bool
+	cacheDir   string
+	benchCache string
 }
 
 func registerFlags(fs *flag.FlagSet) *options {
@@ -57,21 +78,30 @@ func registerFlags(fs *flag.FlagSet) *options {
 	fs.IntVar(&o.jobs, "jobs", 0, "concurrent experiment points (0 = one per CPU, 1 = sequential)")
 	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&o.memprofile, "memprofile", "", "write a heap profile to this file at exit")
+	fs.BoolVar(&o.noCache, "no-cache", false, "disable the run cache (memoization of repeated simulation points)")
+	fs.StringVar(&o.cacheDir, "cache-dir", "", "persist cached simulation points under this directory (empty = in-memory only)")
+	fs.StringVar(&o.benchCache, "bench-cache", "", "instead of printing tables, time the suite no-cache/cold/warm and write the JSON measurements to this file")
 	return o
 }
 
 func main() {
 	o := registerFlags(flag.CommandLine)
 	flag.Parse()
-	if err := run(o, os.Stdout); err != nil {
+	if err := run(o, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
 // run executes the selected experiments. It returns rather than exits on
-// error so that profile files are always flushed and closed.
-func run(o *options, stdout io.Writer) (err error) {
+// error so that profile files are always flushed and closed. Cache
+// statistics go to stderr, never stdout: stdout carries only the
+// deterministic tables, while single-flight wait counts depend on worker
+// scheduling.
+func run(o *options, stdout, stderr io.Writer) (err error) {
+	if o.benchCache != "" {
+		return benchCacheSuite(o, stderr)
+	}
 	stopProfiles, err := startProfiles(o.cpuprofile, o.memprofile)
 	if err != nil {
 		return err
@@ -87,6 +117,13 @@ func run(o *options, stdout io.Writer) (err error) {
 		return err
 	}
 	env.Jobs = o.jobs
+	if !o.noCache {
+		cache, err := runcache.New(runcache.Options{Dir: o.cacheDir})
+		if err != nil {
+			return err
+		}
+		env.Cache = cache
+	}
 	r := &runner{env: env, outDir: o.out, markdown: o.markdown, stdout: stdout}
 	if o.out != "" {
 		if err := os.MkdirAll(o.out, 0o755); err != nil {
@@ -103,7 +140,104 @@ func run(o *options, stdout io.Writer) (err error) {
 			return err
 		}
 	}
+	if env.Cache != nil {
+		fmt.Fprintln(stderr, env.Cache.Stats())
+	}
 	return nil
+}
+
+// benchRun is one timed pass over the suite in the -bench-cache report.
+type benchRun struct {
+	// Name identifies the pass: "no-cache", "cold" (empty cache),
+	// or "warm" (cache pre-populated by the cold pass).
+	Name     string  `json:"name"`
+	Millis   float64 `json:"wall_ms"`
+	Hits     uint64  `json:"cache_hits,omitempty"`
+	DiskHits uint64  `json:"cache_disk_hits,omitempty"`
+	Misses   uint64  `json:"cache_misses,omitempty"`
+	Waits    uint64  `json:"single_flight_waits,omitempty"`
+}
+
+// benchCacheSuite times the selected suite three ways — without a cache,
+// with a cold cache, and again against the now-warm cache — and writes the
+// measurements as JSON. Tables are rendered to io.Discard: the point is to
+// time the simulations, not terminal IO.
+func benchCacheSuite(o *options, stderr io.Writer) error {
+	ids := strings.Split(o.run, ",")
+	if o.run == "all" {
+		ids = allIDs
+	}
+	pass := func(env *experiments.Env) (time.Duration, error) {
+		r := &runner{env: env, stdout: io.Discard}
+		start := time.Now()
+		for _, id := range ids {
+			if err := r.runOne(strings.TrimSpace(id)); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	env, err := experiments.NewEnv()
+	if err != nil {
+		return err
+	}
+	env.Jobs = o.jobs
+
+	var runs []benchRun
+	record := func(name string, d time.Duration, s runcache.Stats) {
+		br := benchRun{
+			Name:   name,
+			Millis: float64(d.Microseconds()) / 1e3,
+			Hits:   s.Hits, DiskHits: s.DiskHits, Misses: s.Misses, Waits: s.Waits,
+		}
+		runs = append(runs, br)
+		fmt.Fprintf(stderr, "bench-cache %-8s %10.3f ms   %d hits (%d disk), %d misses, %d waits\n",
+			name, br.Millis, s.Hits, s.DiskHits, s.Misses, s.Waits)
+	}
+
+	d, err := pass(env)
+	if err != nil {
+		return err
+	}
+	record("no-cache", d, runcache.Stats{})
+
+	cache, err := runcache.New(runcache.Options{Dir: o.cacheDir})
+	if err != nil {
+		return err
+	}
+	env.Cache = cache
+	cold, err := pass(env)
+	if err != nil {
+		return err
+	}
+	coldStats := cache.Stats()
+	record("cold", cold, coldStats)
+
+	warm, err := pass(env)
+	if err != nil {
+		return err
+	}
+	// The counters are cumulative; subtract the cold pass's share so the
+	// warm row reports one pass on its own.
+	warmStats := cache.Stats()
+	record("warm", warm, runcache.Stats{
+		Hits:     warmStats.Hits - coldStats.Hits,
+		DiskHits: warmStats.DiskHits - coldStats.DiskHits,
+		Misses:   warmStats.Misses - coldStats.Misses,
+		Waits:    warmStats.Waits - coldStats.Waits,
+	})
+
+	report := struct {
+		Suite string     `json:"suite"`
+		Jobs  int        `json:"jobs"`
+		Runs  []benchRun `json:"runs"`
+	}{Suite: o.run, Jobs: o.jobs, Runs: runs}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(o.benchCache, append(buf, '\n'), 0o644)
 }
 
 // startProfiles begins CPU profiling and/or arranges a heap profile,

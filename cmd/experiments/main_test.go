@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"flag"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -42,12 +43,16 @@ func TestRegisterFlagsRoundTrip(t *testing.T) {
 		"-jobs", "3",
 		"-cpuprofile", "cpu.out",
 		"-memprofile", "mem.out",
+		"-no-cache",
+		"-cache-dir", ".cache",
+		"-bench-cache", "bench.json",
 	}
 	if err := fs.Parse(args); err != nil {
 		t.Fatalf("Parse: %v", err)
 	}
 	want := options{run: "fig1,fig2", out: "res", markdown: true, jobs: 3,
-		cpuprofile: "cpu.out", memprofile: "mem.out"}
+		cpuprofile: "cpu.out", memprofile: "mem.out",
+		noCache: true, cacheDir: ".cache", benchCache: "bench.json"}
 	if *o != want {
 		t.Errorf("parsed options = %+v, want %+v", *o, want)
 	}
@@ -64,7 +69,7 @@ func TestRegisterFlagsDefaults(t *testing.T) {
 		t.Errorf("default options = %+v, want %+v", *o, want)
 	}
 	// Every option field must be reachable from the command line.
-	for _, name := range []string{"run", "out", "markdown", "jobs", "cpuprofile", "memprofile"} {
+	for _, name := range []string{"run", "out", "markdown", "jobs", "cpuprofile", "memprofile", "no-cache", "cache-dir", "bench-cache"} {
 		if fs.Lookup(name) == nil {
 			t.Errorf("flag -%s not registered", name)
 		}
@@ -203,6 +208,70 @@ func TestEmitNumbersMultipleTables(t *testing.T) {
 	}
 	if _, err := os.Stat(filepath.Join(dir, "y.csv")); err != nil {
 		t.Errorf("missing y.csv: %v", err)
+	}
+}
+
+// suiteOutput runs the full experiment suite through the real run()
+// entrypoint and returns stdout plus every CSV, keyed by file name.
+func suiteOutput(t *testing.T, jobs int, noCache bool, cacheDir string) (string, map[string]string) {
+	t.Helper()
+	outDir := t.TempDir()
+	var stdout bytes.Buffer
+	o := &options{run: "all", out: outDir, jobs: jobs, noCache: noCache, cacheDir: cacheDir}
+	if err := run(o, &stdout, io.Discard); err != nil {
+		t.Fatalf("run(jobs=%d noCache=%v dir=%q): %v", jobs, noCache, cacheDir, err)
+	}
+	csvs := map[string]string{}
+	entries, err := os.ReadDir(outDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(outDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		csvs[e.Name()] = string(data)
+	}
+	return stdout.String(), csvs
+}
+
+// TestSuiteDeterminismAcrossCacheModes is the acceptance matrix: the full
+// suite's stdout and CSVs must be byte-identical for -jobs 1 vs -jobs 8,
+// cache on vs off, and cold vs warm disk cache. The cache must be an
+// invisible accelerator — any divergence means a cached result leaked
+// state or a fingerprint conflated two configurations.
+func TestSuiteDeterminismAcrossCacheModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full suite six times")
+	}
+	diskDir := t.TempDir()
+	baseOut, baseCSV := suiteOutput(t, 1, true, "") // sequential, no cache
+	combos := []struct {
+		name     string
+		jobs     int
+		noCache  bool
+		cacheDir string
+	}{
+		{"jobs8 no cache", 8, true, ""},
+		{"jobs1 memory cache", 1, false, ""},
+		{"jobs8 memory cache", 8, false, ""},
+		{"jobs8 disk cache cold", 8, false, diskDir},
+		{"jobs8 disk cache warm", 8, false, diskDir}, // reuses diskDir populated above
+	}
+	for _, c := range combos {
+		gotOut, gotCSV := suiteOutput(t, c.jobs, c.noCache, c.cacheDir)
+		if gotOut != baseOut {
+			t.Errorf("%s: stdout differs from sequential no-cache run", c.name)
+		}
+		if len(gotCSV) != len(baseCSV) {
+			t.Errorf("%s: %d CSVs, want %d", c.name, len(gotCSV), len(baseCSV))
+		}
+		for name, want := range baseCSV {
+			if gotCSV[name] != want {
+				t.Errorf("%s: %s differs from sequential no-cache run", c.name, name)
+			}
+		}
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"greengpu/internal/cpusim"
 	"greengpu/internal/gpusim"
 	"greengpu/internal/parallel"
+	"greengpu/internal/runcache"
 	"greengpu/internal/testbed"
 	"greengpu/internal/workload"
 )
@@ -49,6 +50,21 @@ type Env struct {
 	// per-task deterministic seeding — so Jobs only trades wall-clock
 	// time for cores.
 	Jobs int
+
+	// Cache, when non-nil, memoizes simulation points by content-addressed
+	// fingerprint: repeated points (the best-performance baseline alone is
+	// requested by Fig. 6, Fig. 8, two ablations, and three extension
+	// studies) simulate once and replay from the cache, and concurrent
+	// requests for the same point single-flight onto one computation.
+	// Because every run is deterministic and cached results are returned
+	// as private deep copies, results are bit-identical with the cache on
+	// or off, cold or warm. Runs whose configuration carries observers,
+	// filters, or custom policies bypass the cache (see
+	// runcache.Cacheable). Derived environments share this cache: points
+	// are keyed by their full device configs and recalibrated profile, so
+	// an identically-configured derived env hits, a different one cannot
+	// collide.
+	Cache *runcache.Cache
 }
 
 // NewEnv builds the default environment: the paper's testbed devices and
@@ -78,25 +94,111 @@ func (e *Env) Profile(name string) (*workload.Profile, error) {
 	return workload.ByName(e.Profiles, name)
 }
 
-// run executes a profile on a fresh machine, propagating errors.
+// baselineConfig is the best-performance baseline every comparison in the
+// suite measures against. The contract (paper §VII: the stock driver's
+// performance governor): all frequency domains pinned at their highest
+// levels, no DVFS, no workload division — the fastest, most
+// energy-hungry way to run the workload. iters == 0 runs the profile's
+// calibrated iteration count; Fig. 5 passes an explicit shortened count.
+// Every figure, ablation, and extension study must compare against this
+// exact configuration, never a local variant — which also makes the
+// baseline a maximally shared cache point.
+func baselineConfig(iters int) core.Config {
+	cfg := core.DefaultConfig(core.Baseline)
+	cfg.Iterations = iters
+	return cfg
+}
+
+// scalingConfig is the frequency-scaling tier (tier 2 alone: GPU DVFS at
+// the paper's 3 s interval, no workload division), the second most shared
+// configuration in the suite.
+func scalingConfig() core.Config {
+	return core.DefaultConfig(core.FreqScaling)
+}
+
+// run executes a profile on a fresh machine, propagating errors. Points go
+// through the run cache when one is attached.
 func (e *Env) run(name string, cfg core.Config) (*core.Result, error) {
 	p, err := e.Profile(name)
 	if err != nil {
 		return nil, err
 	}
-	return core.Run(e.Machine(), p, cfg)
+	return e.runPoint(e.GPUConfig, e.CPUConfig, e.BusConfig, p, cfg)
+}
+
+// runPoint executes one simulation point on a fresh machine assembled from
+// explicit device configurations, consulting the cache when possible. It is
+// the choke point every cacheable run funnels through: callers that build
+// custom machines (e.g. the CPU-capability sweep) use it directly so their
+// points share the suite-wide cache too.
+//
+// The fresh-machine-per-point contract: a point is a pure function of
+// (device configs, profile, core config), so each one gets its own machine
+// built from plain-value configs — never a shared or reused machine, whose
+// accumulated meter state would leak between points and break bitwise
+// reproducibility.
+func (e *Env) runPoint(gpu gpusim.Config, cpu cpusim.Config, b bus.Config, p *workload.Profile, cfg core.Config) (*core.Result, error) {
+	if e.Cache == nil || !runcache.Cacheable(&cfg) {
+		return core.Run(testbed.NewFrom(gpu, cpu, b), p, cfg)
+	}
+	key := runcache.KeyOf(&gpu, &cpu, &b, p, &cfg, "")
+	v, err := e.Cache.Do(key, func() (runcache.Value, error) {
+		r, err := core.Run(testbed.NewFrom(gpu, cpu, b), p, cfg)
+		return runcache.Value{Result: r}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.Result, nil
+}
+
+// runMeteredGPU is run with the GPU card power meter attached, returning
+// the per-sample power trace in watts alongside the result. Metered runs
+// are fingerprinted under a distinct variant so they never share a cache
+// entry with plain runs of the same configuration.
+func (e *Env) runMeteredGPU(name string, cfg core.Config) (*core.Result, []float64, error) {
+	p, err := e.Profile(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	compute := func() (runcache.Value, error) {
+		m := e.Machine()
+		m.MeterGPU.Start()
+		r, err := core.Run(m, p, cfg)
+		if err != nil {
+			return runcache.Value{}, err
+		}
+		m.MeterGPU.Stop()
+		samples := m.MeterGPU.Samples()
+		power := make([]float64, len(samples))
+		for i, s := range samples {
+			power[i] = s.Power.Watts()
+		}
+		return runcache.Value{Result: r, GPUPower: power}, nil
+	}
+	if e.Cache == nil || !runcache.Cacheable(&cfg) {
+		v, err := compute()
+		return v.Result, v.GPUPower, err
+	}
+	key := runcache.KeyOf(&e.GPUConfig, &e.CPUConfig, &e.BusConfig, p, &cfg, "gpu-meter")
+	v, err := e.Cache.Do(key, compute)
+	if err != nil {
+		return nil, nil, err
+	}
+	return v.Result, v.GPUPower, nil
 }
 
 // derive builds an environment from explicit device configurations like
-// NewEnvFrom, carrying over this environment's execution settings (Jobs).
-// Studies that recalibrate against other devices use it so one Jobs knob
-// governs the whole experiment tree.
+// NewEnvFrom, carrying over this environment's execution settings (Jobs,
+// Cache). Studies that recalibrate against other devices use it so one
+// Jobs knob and one cache govern the whole experiment tree.
 func (e *Env) derive(gpu gpusim.Config, cpu cpusim.Config, b bus.Config) (*Env, error) {
 	env2, err := NewEnvFrom(gpu, cpu, b)
 	if err != nil {
 		return nil, err
 	}
 	env2.Jobs = e.Jobs
+	env2.Cache = e.Cache
 	return env2, nil
 }
 

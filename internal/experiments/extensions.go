@@ -375,8 +375,7 @@ func (e *Env) CPUCapability(names ...string) ([]CPURow, error) {
 		if err != nil {
 			return CPURow{}, err
 		}
-		m := testbed.NewFrom(e.GPUConfig, tk.cfg(), e.BusConfig)
-		r, err := core.Run(m, p, core.DefaultConfig(core.Division))
+		r, err := e.runPoint(e.GPUConfig, tk.cfg(), e.BusConfig, p, core.DefaultConfig(core.Division))
 		if err != nil {
 			return CPURow{}, err
 		}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"greengpu/internal/core"
 	"greengpu/internal/trace"
 	"greengpu/internal/units"
 	"greengpu/internal/workload"
@@ -114,11 +113,6 @@ func (e *Env) Fig6() (*Fig6Result, error) {
 		AvgSystemSaving:  trace.Mean(ss),
 	}
 	return res, nil
-}
-
-func scalingConfig() core.Config {
-	cfg := core.DefaultConfig(core.FreqScaling)
-	return cfg
 }
 
 func (e *Env) gpuIdlePowerAtLowest() units.Power {

@@ -1,0 +1,287 @@
+package runcache
+
+import (
+	"container/list"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"greengpu/internal/core"
+	"greengpu/internal/division"
+)
+
+// Value is what the cache stores per simulation point: the framework result
+// plus any machine-level observations the point's flavour captured.
+type Value struct {
+	Result *core.Result
+	// GPUPower is the per-sample GPU card power trace in watts, recorded
+	// when the run flavour had meter 2 attached (KeyOf variant
+	// distinguishes metered from plain runs). Nil for plain runs.
+	GPUPower []float64
+}
+
+// clone deep-copies the value. Cached results are immutable by contract:
+// every Do returns a private copy, so no caller can corrupt an entry other
+// callers (or a warm disk cache) will observe. TestResultImmutability pins
+// this; keep it in sync with the fields of core.Result.
+func (v Value) clone() Value {
+	out := Value{GPUPower: append([]float64(nil), v.GPUPower...)}
+	if v.Result != nil {
+		r := *v.Result
+		r.Iterations = append([]core.IterationStats(nil), v.Result.Iterations...)
+		r.DivisionHistory = append([]division.Observation(nil), v.Result.DivisionHistory...)
+		out.Result = &r
+	}
+	return out
+}
+
+// Stats is a snapshot of cache effectiveness counters.
+type Stats struct {
+	// Hits served from the in-memory map; DiskHits additionally counts
+	// entries loaded from the disk layer (a disk hit is not a Hit: the
+	// point was not in memory).
+	Hits     uint64
+	DiskHits uint64
+	// Misses are points actually simulated.
+	Misses uint64
+	// Waits counts single-flight blocks: a worker needed a point another
+	// worker was already computing and waited for it instead of
+	// duplicating the run.
+	Waits uint64
+	// Entries is the current in-memory entry count.
+	Entries int
+}
+
+// String renders the counters for the cmd/experiments stderr summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("run cache: %d hits (%d from disk), %d misses, %d single-flight waits, %d entries",
+		s.Hits, s.DiskHits, s.Misses, s.Waits, s.Entries)
+}
+
+// Options configures a Cache.
+type Options struct {
+	// Dir, when non-empty, enables the on-disk layer: completed entries
+	// are gob-encoded under Dir/v<SchemaVersion>/ and re-runs of the
+	// same binary pick them up across processes. Entries written by
+	// other schema versions live in sibling directories and are never
+	// consulted.
+	Dir string
+	// MaxEntries bounds the in-memory map; 0 means unbounded. When the
+	// bound is hit the least-recently-used completed entry is evicted
+	// (the disk layer, if any, still holds it).
+	MaxEntries int
+}
+
+// Cache memoizes simulation points by fingerprint. It is safe for
+// concurrent use by any number of goroutines.
+type Cache struct {
+	dir string // versioned disk root, "" when disabled
+	max int
+
+	mu      sync.Mutex
+	entries map[Key]*entry
+	lru     *list.List // front = most recently used; holds *entry
+
+	hits     atomic.Uint64
+	diskHits atomic.Uint64
+	misses   atomic.Uint64
+	waits    atomic.Uint64
+}
+
+// entry is one key's slot. done is closed exactly once, when val/err are
+// final; waiters block on it (single-flight).
+type entry struct {
+	key  Key
+	done chan struct{}
+	elem *list.Element
+	val  Value
+	err  error
+}
+
+// New creates a cache. With Options.Dir set, the version-stamped directory
+// is created eagerly so configuration errors surface at startup, not on
+// the first store.
+func New(o Options) (*Cache, error) {
+	if o.MaxEntries < 0 {
+		return nil, fmt.Errorf("runcache: MaxEntries must be non-negative")
+	}
+	c := &Cache{
+		max:     o.MaxEntries,
+		entries: make(map[Key]*entry),
+		lru:     list.New(),
+	}
+	if o.Dir != "" {
+		c.dir = filepath.Join(o.Dir, fmt.Sprintf("v%d", SchemaVersion))
+		if err := os.MkdirAll(c.dir, 0o755); err != nil {
+			return nil, fmt.Errorf("runcache: %w", err)
+		}
+	}
+	return c, nil
+}
+
+// Stats returns a snapshot of the effectiveness counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	return Stats{
+		Hits:     c.hits.Load(),
+		DiskHits: c.diskHits.Load(),
+		Misses:   c.misses.Load(),
+		Waits:    c.waits.Load(),
+		Entries:  n,
+	}
+}
+
+// Do returns the value for key, computing it at most once per process no
+// matter how many goroutines ask concurrently: the first caller runs
+// compute (after consulting the disk layer) while the rest block until it
+// finishes. The returned Value is a private deep copy — callers own it and
+// may mutate it freely.
+//
+// compute errors are returned to the leader and every waiter, but are not
+// cached: the next Do for the key retries.
+func (c *Cache) Do(key Key, compute func() (Value, error)) (Value, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		select {
+		case <-e.done:
+			// Completed entry: a pure in-memory hit.
+			c.lru.MoveToFront(e.elem)
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return e.val.clone(), e.err
+		default:
+			// In flight: wait for the leader.
+			c.mu.Unlock()
+			c.waits.Add(1)
+			<-e.done
+			return e.val.clone(), e.err
+		}
+	}
+	e := &entry{key: key, done: make(chan struct{})}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	// Leader path. A compute panic must not strand waiters on a never-
+	// closed channel: record it as the outcome, then re-panic.
+	completed := false
+	defer func() {
+		if !completed {
+			c.finish(e, Value{}, fmt.Errorf("runcache: compute panicked"), false)
+		}
+	}()
+
+	if v, ok := c.load(key); ok {
+		c.diskHits.Add(1)
+		c.hits.Add(1)
+		completed = true
+		c.finish(e, v, nil, true)
+		return v.clone(), nil
+	}
+
+	v, err := compute()
+	c.misses.Add(1)
+	completed = true
+	c.finish(e, v, err, err == nil)
+	if err != nil {
+		return Value{}, err
+	}
+	if c.dir != "" {
+		c.store(key, v) // best effort; the run already succeeded
+	}
+	return v.clone(), nil
+}
+
+// finish publishes the entry's outcome. Failed computations are removed so
+// later calls retry; successful ones stay and may trigger LRU eviction.
+func (c *Cache) finish(e *entry, v Value, err error, keep bool) {
+	e.val, e.err = v, err
+	c.mu.Lock()
+	if !keep {
+		delete(c.entries, e.key)
+		c.lru.Remove(e.elem)
+	} else if c.max > 0 {
+		for len(c.entries) > c.max {
+			victim := c.oldestCompleted(e)
+			if victim == nil {
+				break
+			}
+			delete(c.entries, victim.key)
+			c.lru.Remove(victim.elem)
+		}
+	}
+	c.mu.Unlock()
+	close(e.done)
+}
+
+// oldestCompleted returns the least-recently-used evictable entry: completed
+// (waiters hold in-flight entries' channels) and not the one being
+// finished. Called with c.mu held.
+func (c *Cache) oldestCompleted(finishing *entry) *entry {
+	for el := c.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry)
+		if e == finishing {
+			continue
+		}
+		select {
+		case <-e.done:
+			return e
+		default:
+		}
+	}
+	return nil
+}
+
+// path maps a key to its disk file.
+func (c *Cache) path(key Key) string {
+	return filepath.Join(c.dir, hex.EncodeToString(key[:])+".gob")
+}
+
+// load reads one entry from the disk layer. Unreadable or undecodable
+// files are treated as misses and removed — a truncated write from a
+// killed process must not poison the key forever.
+func (c *Cache) load(key Key) (Value, bool) {
+	if c.dir == "" {
+		return Value{}, false
+	}
+	f, err := os.Open(c.path(key))
+	if err != nil {
+		return Value{}, false
+	}
+	defer f.Close()
+	var v Value
+	if err := gob.NewDecoder(f).Decode(&v); err != nil {
+		os.Remove(c.path(key))
+		return Value{}, false
+	}
+	return v, true
+}
+
+// store writes one entry to the disk layer atomically (temp file + rename),
+// so concurrent processes and crashes can never expose a half-written
+// entry under the final name.
+func (c *Cache) store(key Key, v Value) {
+	f, err := os.CreateTemp(c.dir, "tmp-*.gob")
+	if err != nil {
+		return
+	}
+	tmp := f.Name()
+	if err := gob.NewEncoder(f).Encode(v); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	if err := os.Rename(tmp, c.path(key)); err != nil {
+		os.Remove(tmp)
+	}
+}
