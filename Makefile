@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: fmt fmtcheck vet build test race bench bench-stable bench-json bench-gate bench-experiments golden determinism check
+.PHONY: fmt fmtcheck vet build test race bench bench-stable bench-json bench-gate bench-experiments golden determinism lint-docs linkcheck check
 
 fmt:
 	gofmt -w .
@@ -79,12 +79,14 @@ golden:
 		"-jobs 1" \
 		"-jobs 8" \
 		"-cache-dir /tmp/greengpu-golden-cache -jobs 8" \
-		"-cache-dir /tmp/greengpu-golden-cache -jobs 8"; do \
+		"-cache-dir /tmp/greengpu-golden-cache -jobs 8" \
+		"-jobs 8 -metrics /tmp/greengpu-golden-m.prom -flight-recorder 64 -flight-recorder-out /tmp/greengpu-golden-f.json"; do \
 		rm -rf /tmp/greengpu-golden; \
 		/tmp/greengpu-golden-bin -run all -out /tmp/greengpu-golden $$args > /dev/null 2>/dev/null || exit 1; \
 		diff -r results /tmp/greengpu-golden || { echo "golden mismatch with: $$args" >&2; exit 1; }; \
 	done
-	rm -rf /tmp/greengpu-golden /tmp/greengpu-golden-cache /tmp/greengpu-golden-bin
+	rm -rf /tmp/greengpu-golden /tmp/greengpu-golden-cache /tmp/greengpu-golden-bin \
+		/tmp/greengpu-golden-m.prom /tmp/greengpu-golden-f.json
 
 # The parallel engine's guarantee, end to end: the experiments binary must
 # produce byte-identical output for any -jobs value.
@@ -96,4 +98,13 @@ determinism:
 	diff -r /tmp/greengpu-seq /tmp/greengpu-par
 	rm -rf /tmp/greengpu-experiments /tmp/greengpu-seq /tmp/greengpu-par /tmp/greengpu-seq.txt /tmp/greengpu-par.txt
 
-check: fmtcheck vet build race bench determinism bench-gate
+# lint-docs enforces godoc hygiene on every exported identifier (see
+# cmd/lintdocs); linkcheck verifies the relative links in the markdown docs
+# (see cmd/linkcheck).
+lint-docs:
+	$(GO) run ./cmd/lintdocs internal cmd examples
+
+linkcheck:
+	$(GO) run ./cmd/linkcheck README.md DESIGN.md ROADMAP.md CHANGES.md docs
+
+check: fmtcheck vet build race bench determinism bench-gate lint-docs linkcheck

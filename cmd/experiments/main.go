@@ -31,6 +31,21 @@
 //	                                # time the suite no-cache/cold/warm and
 //	                                # write the measurements as JSON
 //
+// The telemetry flags (see docs/OBSERVABILITY.md) turn on the
+// internal/telemetry layer for the run and emit its state at exit. All
+// telemetry output goes to stderr or files, never stdout, so experiment
+// tables stay byte-identical with telemetry on or off:
+//
+//	experiments -metrics -              # Prometheus text format to stderr
+//	experiments -metrics metrics.prom  # ... or to a file
+//	experiments -metrics-json m.json   # JSON snapshot of every instrument
+//	experiments -flight-recorder 64    # record the last 64 DVFS epochs
+//	experiments -flight-recorder 64 -flight-recorder-out flight.json
+//
+// With -flight-recorder, a run that ends in an error additionally dumps the
+// retained epochs as an aligned table to stderr — the controller's last K
+// decisions before things went wrong.
+//
 // The -cpuprofile and -memprofile flags write pprof profiles covering the
 // full run, for inspecting the simulator's hot paths (see docs/PERF.md):
 //
@@ -52,6 +67,7 @@ import (
 
 	"greengpu/internal/experiments"
 	"greengpu/internal/runcache"
+	"greengpu/internal/telemetry"
 	"greengpu/internal/trace"
 )
 
@@ -59,15 +75,19 @@ import (
 // by registerFlags lets tests parse argument lists without touching the
 // process-global flag.CommandLine.
 type options struct {
-	run        string
-	out        string
-	markdown   bool
-	jobs       int
-	cpuprofile string
-	memprofile string
-	noCache    bool
-	cacheDir   string
-	benchCache string
+	run         string
+	out         string
+	markdown    bool
+	jobs        int
+	cpuprofile  string
+	memprofile  string
+	noCache     bool
+	cacheDir    string
+	benchCache  string
+	metrics     string
+	metricsJSON string
+	flightRec   int
+	flightOut   string
 }
 
 func registerFlags(fs *flag.FlagSet) *options {
@@ -81,6 +101,10 @@ func registerFlags(fs *flag.FlagSet) *options {
 	fs.BoolVar(&o.noCache, "no-cache", false, "disable the run cache (memoization of repeated simulation points)")
 	fs.StringVar(&o.cacheDir, "cache-dir", "", "persist cached simulation points under this directory (empty = in-memory only)")
 	fs.StringVar(&o.benchCache, "bench-cache", "", "instead of printing tables, time the suite no-cache/cold/warm and write the JSON measurements to this file")
+	fs.StringVar(&o.metrics, "metrics", "", "enable telemetry and write a Prometheus text-format snapshot to this file at exit (- = stderr)")
+	fs.StringVar(&o.metricsJSON, "metrics-json", "", "enable telemetry and write a JSON metrics snapshot to this file at exit (- = stderr)")
+	fs.IntVar(&o.flightRec, "flight-recorder", 0, "enable telemetry and record the last K DVFS epochs; dumped to stderr as a table if the run fails")
+	fs.StringVar(&o.flightOut, "flight-recorder-out", "", "write the flight-recorder records as JSON to this file at exit (- = stderr); requires -flight-recorder")
 	return o
 }
 
@@ -99,6 +123,15 @@ func main() {
 // deterministic tables, while single-flight wait counts depend on worker
 // scheduling.
 func run(o *options, stdout, stderr io.Writer) (err error) {
+	finishTelemetry, err := setupTelemetry(o, stderr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if terr := finishTelemetry(err); terr != nil && err == nil {
+			err = terr
+		}
+	}()
 	if o.benchCache != "" {
 		return benchCacheSuite(o, stderr)
 	}
@@ -144,6 +177,84 @@ func run(o *options, stdout, stderr io.Writer) (err error) {
 		fmt.Fprintln(stderr, env.Cache.Stats())
 	}
 	return nil
+}
+
+// setupTelemetry enables the telemetry layer and installs a flight recorder
+// according to the -metrics, -metrics-json and -flight-recorder flags. The
+// returned finish function emits the requested snapshots, dumps the flight
+// recorder to stderr when the run failed, and restores the process-global
+// telemetry state — important because tests invoke run repeatedly in one
+// process. With no telemetry flag set both functions are no-ops.
+func setupTelemetry(o *options, stderr io.Writer) (finish func(runErr error) error, err error) {
+	if o.metrics == "" && o.metricsJSON == "" && o.flightRec == 0 {
+		if o.flightOut != "" {
+			return nil, fmt.Errorf("-flight-recorder-out requires -flight-recorder K")
+		}
+		return func(error) error { return nil }, nil
+	}
+	if o.flightRec < 0 {
+		return nil, fmt.Errorf("-flight-recorder %d: retention must be positive", o.flightRec)
+	}
+	if o.flightOut != "" && o.flightRec == 0 {
+		return nil, fmt.Errorf("-flight-recorder-out requires -flight-recorder K")
+	}
+	var rec *telemetry.FlightRecorder
+	if o.flightRec > 0 {
+		rec = telemetry.NewFlightRecorder(o.flightRec)
+		telemetry.SetFlightRecorder(rec)
+	}
+	wasEnabled := telemetry.Enabled()
+	telemetry.Enable()
+
+	return func(runErr error) error {
+		if !wasEnabled {
+			telemetry.Disable()
+		}
+		var first error
+		if rec != nil {
+			telemetry.SetFlightRecorder(nil)
+			if runErr != nil {
+				fmt.Fprintln(stderr, "experiments: run failed, dumping flight recorder:")
+				if err := rec.Table(0).WriteText(stderr); err != nil {
+					first = err
+				}
+			}
+			if o.flightOut != "" {
+				if err := emitTo(o.flightOut, stderr, rec.WriteJSON); err != nil && first == nil {
+					first = err
+				}
+			}
+		}
+		if o.metrics != "" {
+			if err := emitTo(o.metrics, stderr, telemetry.Default.WritePrometheus); err != nil && first == nil {
+				first = err
+			}
+		}
+		if o.metricsJSON != "" {
+			if err := emitTo(o.metricsJSON, stderr, telemetry.Default.WriteJSON); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
+}
+
+// emitTo runs emit against stderr when path is "-", or against a freshly
+// created file otherwise. Telemetry output never goes to stdout: stdout
+// carries only the deterministic experiment tables.
+func emitTo(path string, stderr io.Writer, emit func(io.Writer) error) error {
+	if path == "-" {
+		return emit(stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // benchRun is one timed pass over the suite in the -bench-cache report.

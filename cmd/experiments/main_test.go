@@ -2,15 +2,18 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"io"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
 
 	"greengpu/internal/experiments"
+	"greengpu/internal/telemetry"
 	"greengpu/internal/trace"
 )
 
@@ -46,13 +49,19 @@ func TestRegisterFlagsRoundTrip(t *testing.T) {
 		"-no-cache",
 		"-cache-dir", ".cache",
 		"-bench-cache", "bench.json",
+		"-metrics", "m.prom",
+		"-metrics-json", "m.json",
+		"-flight-recorder", "64",
+		"-flight-recorder-out", "flight.json",
 	}
 	if err := fs.Parse(args); err != nil {
 		t.Fatalf("Parse: %v", err)
 	}
 	want := options{run: "fig1,fig2", out: "res", markdown: true, jobs: 3,
 		cpuprofile: "cpu.out", memprofile: "mem.out",
-		noCache: true, cacheDir: ".cache", benchCache: "bench.json"}
+		noCache: true, cacheDir: ".cache", benchCache: "bench.json",
+		metrics: "m.prom", metricsJSON: "m.json",
+		flightRec: 64, flightOut: "flight.json"}
 	if *o != want {
 		t.Errorf("parsed options = %+v, want %+v", *o, want)
 	}
@@ -69,7 +78,7 @@ func TestRegisterFlagsDefaults(t *testing.T) {
 		t.Errorf("default options = %+v, want %+v", *o, want)
 	}
 	// Every option field must be reachable from the command line.
-	for _, name := range []string{"run", "out", "markdown", "jobs", "cpuprofile", "memprofile", "no-cache", "cache-dir", "bench-cache"} {
+	for _, name := range []string{"run", "out", "markdown", "jobs", "cpuprofile", "memprofile", "no-cache", "cache-dir", "bench-cache", "metrics", "metrics-json", "flight-recorder", "flight-recorder-out"} {
 		if fs.Lookup(name) == nil {
 			t.Errorf("flag -%s not registered", name)
 		}
@@ -271,6 +280,134 @@ func TestSuiteDeterminismAcrossCacheModes(t *testing.T) {
 			if gotCSV[name] != want {
 				t.Errorf("%s: %s differs from sequential no-cache run", c.name, name)
 			}
+		}
+	}
+}
+
+// TestTelemetryAcceptance runs a real experiment with every telemetry flag
+// set and checks the whole contract at once: stdout stays byte-identical to
+// a plain run, the Prometheus snapshot is well-formed and covers the
+// headline counters, the JSON snapshot parses, the flight recorder retains
+// bounded records, and the process-global telemetry state is restored.
+func TestTelemetryAcceptance(t *testing.T) {
+	plain := func() string {
+		var out bytes.Buffer
+		if err := run(&options{run: "fig6"}, &out, io.Discard); err != nil {
+			t.Fatalf("plain run: %v", err)
+		}
+		return out.String()
+	}()
+
+	dir := t.TempDir()
+	o := &options{
+		run:         "fig6",
+		metrics:     filepath.Join(dir, "m.prom"),
+		metricsJSON: filepath.Join(dir, "m.json"),
+		flightRec:   32,
+		flightOut:   filepath.Join(dir, "flight.json"),
+	}
+	var out, errOut bytes.Buffer
+	if err := run(o, &out, &errOut); err != nil {
+		t.Fatalf("telemetry run: %v", err)
+	}
+	if out.String() != plain {
+		t.Error("stdout differs between plain and telemetry-enabled runs")
+	}
+	if telemetry.Enabled() {
+		t.Error("telemetry left enabled after run")
+	}
+	if telemetry.Recorder() != nil {
+		t.Error("flight recorder left installed after run")
+	}
+
+	prom, err := os.ReadFile(o.metrics)
+	if err != nil {
+		t.Fatalf("Prometheus snapshot not written: %v", err)
+	}
+	for _, name := range []string{
+		"greengpu_runcache_hits_total",
+		"greengpu_runcache_misses_total",
+		"greengpu_runcache_single_flight_waits_total",
+		"greengpu_parallel_tasks_total",
+		"greengpu_parallel_task_errors_total",
+		"greengpu_dvfs_steps_total",
+	} {
+		if !regexp.MustCompile(`(?m)^` + name + ` \d+$`).Match(prom) {
+			t.Errorf("Prometheus snapshot missing sample line for %s", name)
+		}
+		if !bytes.Contains(prom, []byte("# TYPE "+name+" counter")) {
+			t.Errorf("Prometheus snapshot missing TYPE line for %s", name)
+		}
+	}
+	// Every non-comment line must be a well-formed sample.
+	sample := regexp.MustCompile(`^[a-z_]+(\{le="[^"]+"\})? -?[0-9+.eInf-]+$`)
+	for _, line := range strings.Split(strings.TrimRight(string(prom), "\n"), "\n") {
+		if strings.HasPrefix(line, "# ") {
+			continue
+		}
+		if !sample.MatchString(line) {
+			t.Errorf("malformed Prometheus sample line %q", line)
+		}
+	}
+
+	var snaps []telemetry.MetricSnapshot
+	data, err := os.ReadFile(o.metricsJSON)
+	if err != nil {
+		t.Fatalf("JSON snapshot not written: %v", err)
+	}
+	if err := json.Unmarshal(data, &snaps); err != nil {
+		t.Fatalf("JSON snapshot does not parse: %v", err)
+	}
+	if len(snaps) == 0 {
+		t.Error("JSON snapshot is empty")
+	}
+
+	var recs []telemetry.EpochRecord
+	data, err = os.ReadFile(o.flightOut)
+	if err != nil {
+		t.Fatalf("flight-recorder dump not written: %v", err)
+	}
+	if err := json.Unmarshal(data, &recs); err != nil {
+		t.Fatalf("flight-recorder dump does not parse: %v", err)
+	}
+	if len(recs) == 0 || len(recs) > o.flightRec {
+		t.Errorf("flight recorder retained %d records, want 1..%d", len(recs), o.flightRec)
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Seq != recs[i-1].Seq+1 {
+			t.Errorf("flight records not consecutive at %d: seq %d after %d", i, recs[i].Seq, recs[i-1].Seq)
+		}
+	}
+}
+
+// TestTelemetryFailureDumpsFlightRecorder checks the anomaly path: a run
+// that fails with a flight recorder installed renders the retained epochs
+// to stderr.
+func TestTelemetryFailureDumpsFlightRecorder(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run(&options{run: "fig6,bogus", flightRec: 8}, &out, &errOut)
+	if err == nil {
+		t.Fatal("bogus experiment id accepted")
+	}
+	if !strings.Contains(errOut.String(), "dumping flight recorder") {
+		t.Error("failed run did not announce the flight-recorder dump")
+	}
+	if !strings.Contains(errOut.String(), "u_core") {
+		t.Error("flight-recorder table missing from stderr")
+	}
+	if telemetry.Enabled() || telemetry.Recorder() != nil {
+		t.Error("telemetry state not restored after failed run")
+	}
+}
+
+func TestTelemetryFlagValidation(t *testing.T) {
+	cases := []options{
+		{run: "fig6", flightOut: "f.json"}, // out without recorder
+		{run: "fig6", flightRec: -1},       // negative retention
+	}
+	for _, o := range cases {
+		if err := run(&o, io.Discard, io.Discard); err == nil {
+			t.Errorf("options %+v accepted, want error", o)
 		}
 	}
 }

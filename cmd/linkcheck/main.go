@@ -1,0 +1,131 @@
+// Command linkcheck verifies the relative links in the repository's
+// markdown files: every [text](target) whose target is a local path must
+// point at a file or directory that exists.
+//
+// Usage:
+//
+//	linkcheck README.md docs DESIGN.md
+//
+// Arguments are files or directories; directories are walked for *.md.
+// External links (http, https, mailto), pure #fragment anchors, and paths
+// that escape the repository root (e.g. the CI badge's ../../actions URL
+// shorthand) are skipped — only intra-repo references are checked. Each
+// broken link prints as file:line: message and the exit status is 1 when
+// any were found.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// linkPattern matches inline markdown links [text](target). Images
+// ![alt](target) match too via the optional bang. Nested brackets and
+// reference-style links are out of scope — the repo doesn't use them.
+var linkPattern = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"."}
+	}
+	var files []string
+	for _, arg := range args {
+		fi, err := os.Stat(arg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "linkcheck:", err)
+			os.Exit(2)
+		}
+		if !fi.IsDir() {
+			files = append(files, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() && strings.HasPrefix(d.Name(), ".") && path != arg {
+				return filepath.SkipDir
+			}
+			if !d.IsDir() && strings.HasSuffix(d.Name(), ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "linkcheck:", err)
+			os.Exit(2)
+		}
+	}
+	sort.Strings(files)
+
+	broken := 0
+	for _, file := range files {
+		for _, b := range checkFile(file) {
+			fmt.Println(b)
+			broken++
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken links\n", broken)
+		os.Exit(1)
+	}
+}
+
+// checkFile returns one formatted message per broken relative link in the
+// given markdown file. Targets resolve relative to the file's directory.
+func checkFile(file string) []string {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", file, err)}
+	}
+	var out []string
+	dir := filepath.Dir(file)
+	inFence := false
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkPattern.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if skip(target) {
+				continue
+			}
+			// Drop a #section anchor from a file target.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(dir, target)
+			// Links that climb out of the repository (CI badge URL
+			// shorthand) cannot be checked against the working tree.
+			if rel, err := filepath.Rel(".", resolved); err == nil && strings.HasPrefix(rel, "..") {
+				continue
+			}
+			if _, err := os.Stat(resolved); err != nil {
+				out = append(out, fmt.Sprintf("%s:%d: broken link %q", file, i+1, m[1]))
+			}
+		}
+	}
+	return out
+}
+
+// skip reports whether the target is out of scope: external URLs, mail
+// links, and in-page anchors.
+func skip(target string) bool {
+	return strings.HasPrefix(target, "http://") ||
+		strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#")
+}

@@ -1,0 +1,223 @@
+// Command lintdocs enforces the repository's godoc hygiene: every exported
+// top-level identifier (and every exported method on an exported type) must
+// carry a doc comment that starts with the identifier's name, and every
+// package must have a package comment.
+//
+// Usage:
+//
+//	lintdocs ./internal/... style package paths are not understood; pass
+//	directories:
+//
+//	lintdocs internal cmd
+//
+// Each violation prints as file:line: message. The exit status is 1 when
+// any violation was found, so the Makefile can gate on it. Test files and
+// testdata directories are skipped: test helpers are internal narrative,
+// not API surface.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var dirs []string
+	for _, root := range roots {
+		if err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			dirs = append(dirs, path)
+			return nil
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "lintdocs:", err)
+			os.Exit(2)
+		}
+	}
+	sort.Strings(dirs)
+
+	bad := 0
+	for _, dir := range dirs {
+		violations, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lintdocs:", err)
+			os.Exit(2)
+		}
+		for _, v := range violations {
+			fmt.Println(v)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "lintdocs: %d undocumented exported identifiers\n", bad)
+		os.Exit(1)
+	}
+}
+
+// lintDir parses the non-test Go files of one directory and returns the
+// formatted violations, in file/line order.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	type violation struct {
+		file string
+		line int
+		msg  string
+	}
+	var found []violation
+	report := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		found = append(found, violation{p.Filename, p.Line, fmt.Sprintf(format, args...)})
+	}
+	for _, pkg := range pkgs {
+		if strings.HasSuffix(pkg.Name, "_test") {
+			continue
+		}
+		// The package comment may live in any one file of the package.
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc && pkg.Name != "main" {
+			names := make([]string, 0, len(pkg.Files))
+			for name := range pkg.Files {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			report(pkg.Files[names[0]].Package, "package %s has no package comment", pkg.Name)
+		}
+		for _, f := range pkg.Files {
+			lintFile(f, report)
+		}
+	}
+	sort.Slice(found, func(i, j int) bool {
+		if found[i].file != found[j].file {
+			return found[i].file < found[j].file
+		}
+		return found[i].line < found[j].line
+	})
+	out := make([]string, len(found))
+	for i, v := range found {
+		out[i] = fmt.Sprintf("%s:%d: %s", v.file, v.line, v.msg)
+	}
+	return out, nil
+}
+
+// lintFile reports exported declarations in one file that lack a doc
+// comment beginning with the declared name. A comment on the enclosing
+// group declaration (var/const/type blocks) counts for all its members:
+// grouped identifiers usually share one narrative.
+func lintFile(f *ast.File, report func(pos token.Pos, format string, args ...any)) {
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || !receiverExported(d) {
+				continue
+			}
+			checkDoc(d.Doc, d.Name, "function", report)
+		case *ast.GenDecl:
+			groupDoc := d.Doc != nil
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if !s.Name.IsExported() {
+						continue
+					}
+					if s.Doc == nil && !groupDoc {
+						report(s.Name.Pos(), "exported type %s has no doc comment", s.Name.Name)
+					} else if s.Doc != nil {
+						checkDoc(s.Doc, s.Name, "type", report)
+					}
+				case *ast.ValueSpec:
+					for _, name := range s.Names {
+						if !name.IsExported() {
+							continue
+						}
+						if s.Doc == nil && !groupDoc {
+							report(name.Pos(), "exported %s %s has no doc comment", kindOf(d.Tok), name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// receiverExported reports whether a method's receiver type is exported
+// (methods on unexported types are not API surface). Plain functions
+// trivially qualify.
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// checkDoc verifies the comment exists and opens with the identifier name
+// (the godoc convention that makes generated listings readable).
+func checkDoc(doc *ast.CommentGroup, name *ast.Ident, kind string, report func(pos token.Pos, format string, args ...any)) {
+	if doc == nil {
+		report(name.Pos(), "exported %s %s has no doc comment", kind, name.Name)
+		return
+	}
+	text := strings.TrimSpace(doc.Text())
+	// Allow the standard deprecation and article openings.
+	for _, prefix := range []string{name.Name, "A " + name.Name, "An " + name.Name, "The " + name.Name, "Deprecated:"} {
+		if strings.HasPrefix(text, prefix) {
+			return
+		}
+	}
+	report(name.Pos(), "doc comment for %s %s should start with %q", kind, name.Name, name.Name)
+}
+
+// kindOf names a GenDecl token for error messages.
+func kindOf(tok token.Token) string {
+	switch tok {
+	case token.CONST:
+		return "const"
+	case token.VAR:
+		return "var"
+	default:
+		return tok.String()
+	}
+}

@@ -33,9 +33,19 @@ import (
 	"greengpu/internal/dvfs"
 	"greengpu/internal/governor"
 	"greengpu/internal/sim"
+	"greengpu/internal/telemetry"
 	"greengpu/internal/testbed"
 	"greengpu/internal/units"
 	"greengpu/internal/workload"
+)
+
+// Package metrics (see docs/OBSERVABILITY.md). No-ops unless telemetry is
+// enabled.
+var (
+	metricRunsStarted = telemetry.NewCounter("greengpu_core_runs_total",
+		"Framework runs started (core.Run calls past validation).")
+	metricIterations = telemetry.NewCounter("greengpu_core_iterations_total",
+		"Workload iterations completed across all runs.")
 )
 
 // Mode selects which tiers are active.
@@ -267,6 +277,7 @@ func Run(m *testbed.Machine, p *workload.Profile, cfg Config) (*Result, error) {
 	if m.GPU.Busy() || m.CPU.Busy() {
 		panic("core: Run on a busy machine")
 	}
+	metricRunsStarted.Inc()
 	f := &framework{machine: m, profile: p, cfg: cfg}
 	return f.run()
 }
@@ -382,6 +393,27 @@ func (f *framework) run() (*Result, error) {
 			f.result.DVFSSteps++
 			if cfg.OnDVFS != nil {
 				cfg.OnDVFS(m.Engine.Now(), w.CoreUtil, w.MemUtil, d)
+			}
+			// Flight recorder: one structured record per epoch. The
+			// nil check is the entire cost when recording is off; the
+			// record carries exactly what the controller saw and did,
+			// so a bad decision can be audited after the fact.
+			if rec := telemetry.Recorder(); rec != nil {
+				rec.Record(telemetry.EpochRecord{
+					Workload:  f.profile.Name,
+					Mode:      cfg.Mode.String(),
+					Epoch:     f.result.DVFSSteps - 1,
+					At:        m.Engine.Now(),
+					UCore:     uc,
+					UMem:      um,
+					CoreLevel: d.CoreLevel,
+					MemLevel:  d.MemLevel,
+					CoreMHz:   gpu.CoreLevels()[d.CoreLevel].MHz(),
+					MemMHz:    gpu.MemLevels()[d.MemLevel].MHz(),
+					CPULevel:  cpu.Level(),
+					Ratio:     f.ratio,
+					PowerW:    m.SystemPower().Watts(),
+				})
 			}
 		})
 		f.govTicker = m.Engine.Every(cfg.CPUGovernorInterval, "tier2:cpu-governor", func() {
@@ -528,6 +560,7 @@ func (f *framework) endIteration() {
 	stats.EnergyCPU = cur.CPU - f.iterStartE.CPU
 	stats.Energy = stats.EnergyGPU + stats.EnergyCPU
 	f.result.Iterations = append(f.result.Iterations, stats)
+	metricIterations.Inc()
 	if f.cfg.OnIteration != nil {
 		f.cfg.OnIteration(stats)
 	}

@@ -25,7 +25,17 @@ import (
 	"time"
 
 	"greengpu/internal/sim"
+	"greengpu/internal/telemetry"
 	"greengpu/internal/units"
+)
+
+// Package metrics (see docs/OBSERVABILITY.md). No-ops unless telemetry is
+// enabled.
+var (
+	metricJobs = telemetry.NewCounter("greengpu_cpusim_jobs_total",
+		"CPU parallel-region jobs completed across all simulated processors.")
+	metricLevelSwitches = telemetry.NewCounter("greengpu_cpusim_level_switches_total",
+		"Effective P-state changes (SetLevel calls that changed the level).")
 )
 
 // PState is one frequency/voltage operating point.
@@ -222,6 +232,7 @@ func (c *CPU) SetLevel(i int) {
 	if i == c.level {
 		return
 	}
+	metricLevelSwitches.Inc()
 	c.accrue()
 	c.level = i
 	if c.job != nil {
@@ -391,6 +402,7 @@ func (c *CPU) finishJob() {
 	j.finished = c.engine.Now()
 	c.job = nil
 	c.completed++
+	metricJobs.Inc()
 	if j.OnComplete != nil {
 		j.OnComplete()
 	}

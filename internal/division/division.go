@@ -28,6 +28,17 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"greengpu/internal/telemetry"
+)
+
+// Package metrics (see docs/OBSERVABILITY.md). No-ops unless telemetry is
+// enabled.
+var (
+	metricObservations = telemetry.NewCounter("greengpu_division_observations_total",
+		"Tier-1 end-of-iteration observations (Policy.Observe calls) across all runs.")
+	metricHolds = telemetry.NewCounter("greengpu_division_holds_total",
+		"Tier-1 decisions that held the current ratio (including safeguard holds).")
 )
 
 // Action describes what the divider decided after an iteration.
@@ -150,6 +161,10 @@ func (d *Divider) Observe(tc, tg time.Duration) float64 {
 	obs.NewR = newR
 	d.history = append(d.history, obs)
 	d.r = newR
+	metricObservations.Inc()
+	if action == ActionHold || action == ActionHoldSafeguard {
+		metricHolds.Inc()
+	}
 	return newR
 }
 

@@ -114,6 +114,10 @@ func (q *Qilin) Observe(tc, tg time.Duration) float64 {
 	obs.Action = action
 	q.history = append(q.history, obs)
 	q.r = next
+	metricObservations.Inc()
+	if action == ActionHold || action == ActionHoldSafeguard {
+		metricHolds.Inc()
+	}
 	return next
 }
 

@@ -30,8 +30,18 @@ import (
 	"fmt"
 	"math"
 
+	"greengpu/internal/telemetry"
 	"greengpu/internal/units"
 	"greengpu/internal/wma"
+)
+
+// Package metrics (see docs/OBSERVABILITY.md). No-ops unless telemetry is
+// enabled; Step stays allocation-free either way.
+var (
+	metricSteps = telemetry.NewCounter("greengpu_dvfs_steps_total",
+		"Tier-2 epoch decisions taken (Scaler.Step calls) across all runs.")
+	metricLevelChanges = telemetry.NewCounter("greengpu_dvfs_level_changes_total",
+		"Tier-2 decisions that changed the enforced (core, mem) level pair.")
 )
 
 // Params are the tuning constants of the scaling algorithm.
@@ -140,6 +150,9 @@ type Scaler struct {
 	lossAt  func(idx int) float64 // reads lossBuf; bound once, reused by Update
 
 	steps int
+	// lastBest tracks the previous decision's flat pair index (-1 before
+	// the first Step) so metricLevelChanges counts enforced transitions.
+	lastBest int
 }
 
 // NewScaler creates a scaler for the given frequency ladders (both sorted
@@ -175,6 +188,7 @@ func newScaler(coreLevels, memLevels []units.Frequency, p Params, mk func(n int)
 		lcBuf:     make([]float64, len(cu)),
 		lmBuf:     make([]float64, len(mu)),
 		lossBuf:   make([]float64, len(cu)*len(mu)),
+		lastBest:  -1,
 	}
 	s.lossAt = func(idx int) float64 { return s.lossBuf[idx] }
 	return s
@@ -193,6 +207,7 @@ func (s *Scaler) Steps() int { return s.steps }
 func (s *Scaler) Reset() {
 	s.table.Reset()
 	s.steps = 0
+	s.lastBest = -1
 }
 
 // TotalLoss returns Eq. 3's combined loss for the (core i, mem j) pair under
@@ -236,6 +251,11 @@ func (s *Scaler) Step(uCore, uMem float64) Decision {
 	s.table.Update(s.lossAt)
 	s.steps++
 	best := s.table.Best()
+	metricSteps.Inc()
+	if best != s.lastBest && s.lastBest >= 0 {
+		metricLevelChanges.Inc()
+	}
+	s.lastBest = best
 	m := len(s.memUMean)
 	return Decision{CoreLevel: best / m, MemLevel: best % m}
 }

@@ -10,7 +10,20 @@
 // next lowest frequency."
 package governor
 
-import "fmt"
+import (
+	"fmt"
+
+	"greengpu/internal/telemetry"
+)
+
+// Package metrics (see docs/OBSERVABILITY.md). No-ops unless telemetry is
+// enabled.
+var (
+	metricDecisions = telemetry.NewCounter("greengpu_governor_decisions_total",
+		"CPU governor sampling decisions (Policy.Next calls) across all runs.")
+	metricJumpsToMax = telemetry.NewCounter("greengpu_governor_jumps_to_max_total",
+		"Ondemand decisions that jumped straight to the highest P-state.")
+)
 
 // Policy decides the next frequency level from the observed utilization.
 // Levels are indices into an ascending frequency ladder with nLevels
@@ -59,9 +72,11 @@ func (o *Ondemand) Next(util float64, current, nLevels int) int {
 	if nLevels <= 0 {
 		panic("governor: nLevels must be positive")
 	}
+	metricDecisions.Inc()
 	current = clampLevel(current, nLevels)
 	switch {
 	case util > o.UpThreshold:
+		metricJumpsToMax.Inc()
 		return nLevels - 1
 	case util < o.DownThreshold && current > 0:
 		return current - 1
@@ -106,6 +121,7 @@ func (c *Conservative) Next(util float64, current, nLevels int) int {
 	if nLevels <= 0 {
 		panic("governor: nLevels must be positive")
 	}
+	metricDecisions.Inc()
 	current = clampLevel(current, nLevels)
 	switch {
 	case util > c.UpThreshold && current < nLevels-1:
@@ -129,6 +145,7 @@ func (BestPerformance) Next(_ float64, _, nLevels int) int {
 	if nLevels <= 0 {
 		panic("governor: nLevels must be positive")
 	}
+	metricDecisions.Inc()
 	return nLevels - 1
 }
 
@@ -143,6 +160,7 @@ func (PowerSave) Next(_ float64, _, nLevels int) int {
 	if nLevels <= 0 {
 		panic("governor: nLevels must be positive")
 	}
+	metricDecisions.Inc()
 	return 0
 }
 

@@ -42,7 +42,17 @@ import (
 	"time"
 
 	"greengpu/internal/sim"
+	"greengpu/internal/telemetry"
 	"greengpu/internal/units"
+)
+
+// Package metrics (see docs/OBSERVABILITY.md). No-ops unless telemetry is
+// enabled.
+var (
+	metricKernels = telemetry.NewCounter("greengpu_gpusim_kernels_total",
+		"GPU kernels completed across all simulated devices.")
+	metricLevelSwitches = telemetry.NewCounter("greengpu_gpusim_level_switches_total",
+		"Effective GPU frequency-level changes (SetLevels calls that changed a domain).")
 )
 
 // PowerParams parameterizes card power at the measurement boundary of the
@@ -324,6 +334,7 @@ func (g *GPU) SetLevels(core, mem int) {
 	if core == g.coreLevel && mem == g.memLevel {
 		return
 	}
+	metricLevelSwitches.Inc()
 	g.accrue()
 	g.coreLevel, g.memLevel = core, mem
 	if g.running != nil {
@@ -550,6 +561,7 @@ func (g *GPU) finishKernel() {
 	k.finished = g.engine.Now()
 	g.running = nil
 	g.completed++
+	metricKernels.Inc()
 	if len(g.queue) > 0 {
 		next := g.queue[0]
 		g.queue = g.queue[1:]

@@ -28,7 +28,50 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"greengpu/internal/telemetry"
 )
+
+// Package metrics (see docs/OBSERVABILITY.md). No-ops unless telemetry is
+// enabled; the worker loop stays allocation-free either way, and the wall
+// clock is only read when telemetry is on.
+var (
+	metricTasks = telemetry.NewCounter("greengpu_parallel_tasks_total",
+		"Tasks executed by the worker pool (skipped tasks excluded).")
+	metricTaskErrors = telemetry.NewCounter("greengpu_parallel_task_errors_total",
+		"Tasks that returned an error.")
+	metricSkipped = telemetry.NewCounter("greengpu_parallel_tasks_skipped_total",
+		"Tasks skipped because the shared context was already cancelled.")
+	metricTaskSeconds = telemetry.NewHistogram("greengpu_parallel_task_seconds",
+		"Wall-clock task duration in seconds.",
+		telemetry.ExpBuckets(100e-6, 4, 12)) // 100µs .. ~420s
+)
+
+// observeTask records one executed task's outcome and duration. start is
+// the zero Time when telemetry was off at task start; the duration is then
+// skipped rather than fabricated.
+func observeTask(start time.Time, err error) {
+	if !telemetry.Enabled() {
+		return
+	}
+	metricTasks.Inc()
+	if err != nil {
+		metricTaskErrors.Inc()
+	}
+	if !start.IsZero() {
+		metricTaskSeconds.Observe(time.Since(start).Seconds())
+	}
+}
+
+// taskStart reads the wall clock only when telemetry is on, so the disabled
+// path never issues a clock syscall.
+func taskStart() time.Time {
+	if !telemetry.Enabled() {
+		return time.Time{}
+	}
+	return time.Now()
+}
 
 // config carries the resolved scheduling options.
 type config struct {
@@ -89,7 +132,9 @@ func Map[T, R any](ctx context.Context, items []T, fn func(ctx context.Context, 
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
+			start := taskStart()
 			r, err := fn(ctx, i, items[i])
+			observeTask(start, err)
 			if err != nil {
 				return nil, err
 			}
@@ -134,10 +179,13 @@ func Map[T, R any](ctx context.Context, items []T, fn func(ctx context.Context, 
 					// Skipped: leave errs[i] nil so error selection
 					// stays deterministic (only genuine task failures
 					// participate).
+					metricSkipped.Inc()
 					progress()
 					continue
 				}
+				start := taskStart()
 				r, err := fn(cctx, i, items[i])
+				observeTask(start, err)
 				if err != nil {
 					errs[i] = err
 					cancel()

@@ -12,6 +12,25 @@ import (
 
 	"greengpu/internal/core"
 	"greengpu/internal/division"
+	"greengpu/internal/telemetry"
+)
+
+// Package metrics (see docs/OBSERVABILITY.md). They mirror the per-Cache
+// Stats counters process-wide: Stats stays the exact per-instance view the
+// stderr summary prints, the metrics aggregate across every cache in the
+// process and feed the flight recorder's hit/miss stamps. No-ops unless
+// telemetry is enabled.
+var (
+	metricHits = telemetry.NewCounter(telemetry.MetricRunCacheHits,
+		"Simulation points served from the in-memory cache.")
+	metricDiskHits = telemetry.NewCounter("greengpu_runcache_disk_hits_total",
+		"Simulation points loaded from the disk layer.")
+	metricMisses = telemetry.NewCounter(telemetry.MetricRunCacheMisses,
+		"Simulation points actually simulated (cache misses).")
+	metricWaits = telemetry.NewCounter("greengpu_runcache_single_flight_waits_total",
+		"Workers that blocked on another worker's in-flight computation of the same point.")
+	metricEntries = telemetry.NewGauge("greengpu_runcache_entries",
+		"Completed entries currently held in memory (last cache to finish an entry wins).")
 )
 
 // Value is what the cache stores per simulation point: the framework result
@@ -154,11 +173,13 @@ func (c *Cache) Do(key Key, compute func() (Value, error)) (Value, error) {
 			c.lru.MoveToFront(e.elem)
 			c.mu.Unlock()
 			c.hits.Add(1)
+			metricHits.Inc()
 			return e.val.clone(), e.err
 		default:
 			// In flight: wait for the leader.
 			c.mu.Unlock()
 			c.waits.Add(1)
+			metricWaits.Inc()
 			<-e.done
 			return e.val.clone(), e.err
 		}
@@ -180,6 +201,8 @@ func (c *Cache) Do(key Key, compute func() (Value, error)) (Value, error) {
 	if v, ok := c.load(key); ok {
 		c.diskHits.Add(1)
 		c.hits.Add(1)
+		metricDiskHits.Inc()
+		metricHits.Inc()
 		completed = true
 		c.finish(e, v, nil, true)
 		return v.clone(), nil
@@ -187,6 +210,7 @@ func (c *Cache) Do(key Key, compute func() (Value, error)) (Value, error) {
 
 	v, err := compute()
 	c.misses.Add(1)
+	metricMisses.Inc()
 	completed = true
 	c.finish(e, v, err, err == nil)
 	if err != nil {
@@ -216,6 +240,7 @@ func (c *Cache) finish(e *entry, v Value, err error, keep bool) {
 			c.lru.Remove(victim.elem)
 		}
 	}
+	metricEntries.Set(float64(len(c.entries)))
 	c.mu.Unlock()
 	close(e.done)
 }

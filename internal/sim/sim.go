@@ -26,6 +26,19 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"greengpu/internal/telemetry"
+)
+
+// Package metrics (see docs/OBSERVABILITY.md). Deliberately coarse: the
+// per-event loop is the hottest path in the repository, so events are
+// tallied locally by Run/RunUntil and flushed once per call — zero added
+// instructions per event. No-ops unless telemetry is enabled.
+var (
+	metricRuns = telemetry.NewCounter("greengpu_sim_runs_total",
+		"Engine Run/RunUntil invocations across all simulations.")
+	metricEvents = telemetry.NewCounter("greengpu_sim_events_total",
+		"Events dispatched by Run/RunUntil across all simulations.")
 )
 
 // MaxTime is the largest representable simulation instant.
@@ -174,6 +187,8 @@ func (e *Engine) Run() int {
 	for !e.stopped && e.Step() {
 		n++
 	}
+	metricRuns.Inc()
+	metricEvents.Add(uint64(n))
 	return n
 }
 
@@ -193,6 +208,8 @@ func (e *Engine) RunUntil(t time.Duration) int {
 	if !e.stopped && e.now < t {
 		e.now = t
 	}
+	metricRuns.Inc()
+	metricEvents.Add(uint64(n))
 	return n
 }
 

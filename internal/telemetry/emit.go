@@ -1,0 +1,74 @@
+// Prometheus text-format and JSON snapshot emitters. Both render a
+// point-in-time snapshot of a registry; neither ever writes to stdout on
+// behalf of callers — cmd/experiments routes them to stderr or files so the
+// deterministic experiment output stays byte-identical.
+
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): a # HELP and # TYPE line per metric followed by
+// its sample lines, metrics sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, m := range r.Snapshot() {
+		fmt.Fprintf(&b, "# HELP %s %s\n", m.Name, escapeHelp(m.Help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", m.Name, m.Type)
+		switch m.Type {
+		case "histogram":
+			for _, bk := range m.Buckets {
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", m.Name, formatLE(bk.LE), bk.Count)
+			}
+			fmt.Fprintf(&b, "%s_sum %s\n", m.Name, formatValue(m.Sum))
+			fmt.Fprintf(&b, "%s_count %d\n", m.Name, m.Count)
+		default:
+			fmt.Fprintf(&b, "%s %s\n", m.Name, formatValue(m.Value))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteJSON renders the registry snapshot as indented JSON: an array of
+// MetricSnapshot objects sorted by name.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	buf, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+// formatLE renders a bucket bound the way Prometheus expects ("+Inf" for
+// the overflow bucket).
+func formatLE(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return formatValue(v)
+}
+
+// formatValue renders a sample value: integers without an exponent,
+// everything else in Go's shortest round-trip form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp makes a help string safe for the single-line HELP format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

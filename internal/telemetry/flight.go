@@ -1,0 +1,181 @@
+// The epoch flight recorder: a bounded ring buffer of structured DVFS-epoch
+// controller decisions. Where the metrics registry answers "how often", the
+// flight recorder answers "why": it keeps the last K decisions — measured
+// utilizations, the levels the scaler chose, the division ratio in force,
+// an instantaneous power sample, and run-cache effectiveness — so a bad
+// frequency decision can be debugged after the fact without re-running
+// anything. docs/OBSERVABILITY.md documents the record format and a worked
+// debugging walkthrough.
+
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"greengpu/internal/trace"
+)
+
+// EpochRecord is one tier-2 (DVFS) epoch as the controller saw it.
+type EpochRecord struct {
+	// Seq is the global record sequence number, stamped by Record.
+	// Concurrent runs interleave in the ring; Seq plus Workload
+	// disambiguates.
+	Seq uint64 `json:"seq"`
+	// Workload and Mode identify the run the epoch belongs to.
+	Workload string `json:"workload"`
+	Mode     string `json:"mode"`
+	// Epoch is the DVFS step index within the run (0-based).
+	Epoch int `json:"epoch"`
+	// At is the simulated time of the decision.
+	At time.Duration `json:"at_ns"`
+	// UCore and UMem are the utilizations fed to the scaler (after any
+	// sensor filter).
+	UCore float64 `json:"u_core"`
+	UMem  float64 `json:"u_mem"`
+	// CoreLevel/MemLevel are the enforced levels (after any actuator
+	// filter); CoreMHz/MemMHz are the corresponding frequencies.
+	CoreLevel int     `json:"core_level"`
+	MemLevel  int     `json:"mem_level"`
+	CoreMHz   float64 `json:"core_mhz"`
+	MemMHz    float64 `json:"mem_mhz"`
+	// CPULevel is the processor P-state in force at the epoch.
+	CPULevel int `json:"cpu_level"`
+	// Ratio is tier 1's CPU share in force at the epoch.
+	Ratio float64 `json:"ratio"`
+	// PowerW is the instantaneous whole-system power sample in watts.
+	PowerW float64 `json:"power_w"`
+	// CacheHits and CacheMisses are the process-wide run-cache counters
+	// at record time, stamped by Record.
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+}
+
+// FlightRecorder retains the last K epoch records in a preallocated ring
+// buffer. Record is safe for concurrent use and never allocates, so leaving
+// a recorder installed costs one mutex acquisition per DVFS epoch —
+// thousands of simulated seconds apart, nothing on any hot path.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	seq   uint64
+	buf   []EpochRecord
+	next  int // ring write position
+	count int // records written, saturating at len(buf)
+}
+
+// NewFlightRecorder returns a recorder retaining the last k records.
+// It panics if k is not positive.
+func NewFlightRecorder(k int) *FlightRecorder {
+	if k <= 0 {
+		panic("telemetry: NewFlightRecorder needs k > 0")
+	}
+	return &FlightRecorder{buf: make([]EpochRecord, k)}
+}
+
+// Cap returns the retention bound K.
+func (r *FlightRecorder) Cap() int { return len(r.buf) }
+
+// Len returns the number of records currently retained (<= Cap).
+func (r *FlightRecorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Record stores one epoch, evicting the oldest when the ring is full. It
+// stamps rec.Seq, rec.CacheHits and rec.CacheMisses itself (the run-cache
+// counters are process-global, so the caller need not know them).
+func (r *FlightRecorder) Record(rec EpochRecord) {
+	rec.CacheHits = Default.CounterValue(MetricRunCacheHits)
+	rec.CacheMisses = Default.CounterValue(MetricRunCacheMisses)
+	r.mu.Lock()
+	rec.Seq = r.seq
+	r.seq++
+	r.buf[r.next] = rec
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+	}
+	if r.count < len(r.buf) {
+		r.count++
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained records, oldest first.
+func (r *FlightRecorder) Snapshot() []EpochRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]EpochRecord, 0, r.count)
+	start := r.next - r.count
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.count; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Table renders the newest records (at most lastK; lastK <= 0 means all
+// retained) as an aligned trace table, oldest first — the "what was the
+// controller thinking" view dumped when a run ends in an anomaly.
+func (r *FlightRecorder) Table(lastK int) *trace.Table {
+	recs := r.Snapshot()
+	if lastK > 0 && len(recs) > lastK {
+		recs = recs[len(recs)-lastK:]
+	}
+	t := trace.NewTable(
+		fmt.Sprintf("flight recorder: last %d DVFS epochs (oldest first)", len(recs)),
+		"seq", "workload", "mode", "epoch", "t(s)", "u_core", "u_mem",
+		"core", "MHz", "mem", "MHz", "cpu", "r", "power(W)", "hits", "misses")
+	for _, e := range recs {
+		t.AddRow(
+			fmt.Sprintf("%d", e.Seq),
+			e.Workload,
+			e.Mode,
+			fmt.Sprintf("%d", e.Epoch),
+			fmt.Sprintf("%.1f", e.At.Seconds()),
+			fmt.Sprintf("%.3f", e.UCore),
+			fmt.Sprintf("%.3f", e.UMem),
+			fmt.Sprintf("%d", e.CoreLevel),
+			fmt.Sprintf("%.0f", e.CoreMHz),
+			fmt.Sprintf("%d", e.MemLevel),
+			fmt.Sprintf("%.0f", e.MemMHz),
+			fmt.Sprintf("%d", e.CPULevel),
+			fmt.Sprintf("%.2f", e.Ratio),
+			fmt.Sprintf("%.1f", e.PowerW),
+			fmt.Sprintf("%d", e.CacheHits),
+			fmt.Sprintf("%d", e.CacheMisses),
+		)
+	}
+	return t
+}
+
+// WriteJSON renders the retained records (oldest first) as indented JSON.
+func (r *FlightRecorder) WriteJSON(w io.Writer) error {
+	buf, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+// active is the installed process-wide recorder, nil when flight recording
+// is off. A plain atomic pointer so the per-epoch check in internal/core is
+// one load and a nil test.
+var active atomic.Pointer[FlightRecorder]
+
+// SetFlightRecorder installs r as the process-wide recorder (nil
+// uninstalls).
+func SetFlightRecorder(r *FlightRecorder) { active.Store(r) }
+
+// Recorder returns the installed process-wide recorder, or nil. Callers
+// nil-check and skip record assembly entirely when flight recording is off.
+func Recorder() *FlightRecorder { return active.Load() }

@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Registering the run-cache counters here (the names runcache itself uses
+// in production) lets these tests exercise Record's cache stamping without
+// importing runcache, which would be a dependency cycle in spirit.
+var (
+	testCacheHits   = NewCounter(MetricRunCacheHits, "test stand-in")
+	testCacheMisses = NewCounter(MetricRunCacheMisses, "test stand-in")
+)
+
+func TestNewFlightRecorderRejectsNonPositive(t *testing.T) {
+	for _, k := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewFlightRecorder(%d) accepted", k)
+				}
+			}()
+			NewFlightRecorder(k)
+		}()
+	}
+}
+
+func TestFlightRecorderRingWrap(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	if fr.Cap() != 4 || fr.Len() != 0 {
+		t.Fatalf("fresh recorder Cap=%d Len=%d", fr.Cap(), fr.Len())
+	}
+	for i := 0; i < 10; i++ {
+		fr.Record(EpochRecord{Epoch: i})
+	}
+	if fr.Len() != 4 {
+		t.Errorf("Len = %d, want 4", fr.Len())
+	}
+	recs := fr.Snapshot()
+	if len(recs) != 4 {
+		t.Fatalf("snapshot has %d records, want 4", len(recs))
+	}
+	for i, rec := range recs {
+		if want := 6 + i; rec.Epoch != want {
+			t.Errorf("record %d epoch = %d, want %d (oldest first)", i, rec.Epoch, want)
+		}
+		if want := uint64(6 + i); rec.Seq != want {
+			t.Errorf("record %d seq = %d, want %d", i, rec.Seq, want)
+		}
+	}
+}
+
+func TestRecordStampsCacheCounters(t *testing.T) {
+	withTelemetry(t)
+	fr := NewFlightRecorder(2)
+	testCacheHits.Add(3)
+	testCacheMisses.Add(5)
+	fr.Record(EpochRecord{})
+	rec := fr.Snapshot()[0]
+	// The counters are cumulative across the test binary; the record must
+	// carry at least what this test just added.
+	if rec.CacheHits < 3 || rec.CacheMisses < 5 {
+		t.Errorf("record cache counters = %d/%d, want >= 3/5", rec.CacheHits, rec.CacheMisses)
+	}
+}
+
+func TestFlightRecorderTable(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	for i := 0; i < 5; i++ {
+		fr.Record(EpochRecord{
+			Workload: "kmeans", Mode: "greengpu", Epoch: i,
+			At:    time.Duration(i) * time.Second,
+			UCore: 0.8, UMem: 0.4, CoreLevel: 2, MemLevel: 1,
+			CoreMHz: 500, MemMHz: 800, CPULevel: 3, Ratio: 0.12, PowerW: 210.5,
+		})
+	}
+	var b strings.Builder
+	if err := fr.Table(3).WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "last 3 DVFS epochs") {
+		t.Errorf("Table(3) did not trim to 3:\n%s", out)
+	}
+	if strings.Contains(out, "\n0 ") || !strings.Contains(out, "kmeans") {
+		t.Errorf("table rows wrong:\n%s", out)
+	}
+
+	b.Reset()
+	if err := fr.Table(0).WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "last 5 DVFS epochs") {
+		t.Errorf("Table(0) did not render all retained records:\n%s", b.String())
+	}
+}
+
+func TestFlightRecorderWriteJSON(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	fr.Record(EpochRecord{Workload: "lud", Epoch: 7, UCore: 0.25})
+	var b strings.Builder
+	if err := fr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var recs []EpochRecord
+	if err := json.Unmarshal([]byte(b.String()), &recs); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Workload != "lud" || recs[0].Epoch != 7 || recs[0].UCore != 0.25 {
+		t.Errorf("round-tripped records = %+v", recs)
+	}
+}
+
+func TestGlobalRecorderInstall(t *testing.T) {
+	if Recorder() != nil {
+		t.Fatal("recorder installed at test start")
+	}
+	fr := NewFlightRecorder(1)
+	SetFlightRecorder(fr)
+	if Recorder() != fr {
+		t.Error("Recorder did not return the installed recorder")
+	}
+	SetFlightRecorder(nil)
+	if Recorder() != nil {
+		t.Error("SetFlightRecorder(nil) did not uninstall")
+	}
+}

@@ -1,7 +1,9 @@
 package trace
 
 import (
+	"encoding/csv"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -171,5 +173,102 @@ func TestTableMarkdown(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("markdown missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestCSVRoundTripSpecialValues writes a table whose cells carry NaN/Inf
+// renderings, quoting hazards (commas, quotes, newlines) and empty cells,
+// then parses it back with the standard CSV reader: every cell must survive
+// byte-for-byte.
+func TestCSVRoundTripSpecialValues(t *testing.T) {
+	tab := NewTable("edge cases", "name", "value", "note")
+	rows := [][]string{
+		{"nan", formatFloat(math.NaN()), "not a number"},
+		{"+inf", formatFloat(math.Inf(1)), "overflow"},
+		{"-inf", formatFloat(math.Inf(-1)), "underflow"},
+		{"comma", "1,234", `contains a , separator`},
+		{"quote", `say "hi"`, `a "quoted" word`},
+		{"newline", "line1\nline2", "embedded break"},
+		{"empty", "", ""},
+	}
+	for _, r := range rows {
+		tab.AddRow(r...)
+	}
+	var b strings.Builder
+	if err := tab.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("emitted CSV does not parse: %v", err)
+	}
+	if len(got) != len(rows)+1 {
+		t.Fatalf("parsed %d records, want %d", len(got), len(rows)+1)
+	}
+	if !reflect.DeepEqual(got[0], tab.Headers) {
+		t.Errorf("header row = %q, want %q", got[0], tab.Headers)
+	}
+	for i, want := range rows {
+		if !reflect.DeepEqual(got[i+1], want) {
+			t.Errorf("row %d = %q, want %q", i, got[i+1], want)
+		}
+	}
+}
+
+// TestTextRendersSpecialFloats checks the aligned-text renderer against the
+// same NaN/Inf cells: alignment math must not choke on them and the values
+// must appear verbatim.
+func TestTextRendersSpecialFloats(t *testing.T) {
+	tab := NewTable("specials", "k", "v")
+	tab.AddRowf("nan", math.NaN())
+	tab.AddRowf("inf", math.Inf(1))
+	var b strings.Builder
+	if err := tab.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"NaN", "+Inf"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestEmptyTable renders a table with headers but no rows in every format.
+func TestEmptyTable(t *testing.T) {
+	tab := NewTable("empty", "a", "b")
+	var text, csvOut, md strings.Builder
+	if err := tab.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "a") {
+		t.Error("empty table text missing headers")
+	}
+	if err := tab.WriteCSV(&csvOut); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(csvOut.String())).ReadAll()
+	if err != nil || len(recs) != 1 {
+		t.Errorf("empty table CSV = %q records (err %v), want the header only", recs, err)
+	}
+	if err := tab.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(md.String()), "**empty**") && !strings.Contains(md.String(), "| a") {
+		t.Errorf("empty table markdown = %q", md.String())
+	}
+}
+
+// TestEmptySeries pins the empty-input behavior of the series helpers.
+func TestEmptySeries(t *testing.T) {
+	var s Series
+	if s.Len() != 0 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if ys := s.Ys(); len(ys) != 0 {
+		t.Errorf("Ys = %v, want empty", ys)
+	}
+	if got := Sparkline(nil); got != "" {
+		t.Errorf("Sparkline(nil) = %q, want empty", got)
 	}
 }
