@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: fmt fmtcheck vet build test race bench bench-stable bench-json bench-gate bench-experiments golden determinism lint-docs linkcheck check
+.PHONY: fmt fmtcheck vet build test race bench bench-stable bench-json bench-gate bench-experiments golden determinism chaos lint-docs linkcheck check
 
 fmt:
 	gofmt -w .
@@ -98,6 +98,22 @@ determinism:
 	diff -r /tmp/greengpu-seq /tmp/greengpu-par
 	rm -rf /tmp/greengpu-experiments /tmp/greengpu-seq /tmp/greengpu-par /tmp/greengpu-seq.txt /tmp/greengpu-par.txt
 
+# chaos runs the whole experiment suite in chaos mode — every run injected
+# with the moderate all-classes fault plan (see docs/ROBUSTNESS.md) — and
+# diffs -jobs 1 against -jobs 8. Fault sequences are pure functions of each
+# point's plan, so even a suite full of dropped sensors, rejected clock
+# writes and stragglers must stay byte-identical at any worker count. The
+# committed fault-free CSVs (including results/fault_resilience.csv) are
+# covered by `make golden`; this gate covers determinism under injection.
+chaos:
+	$(GO) build -o /tmp/greengpu-chaos ./cmd/experiments
+	/tmp/greengpu-chaos -run all -faults default -jobs 1 -out /tmp/greengpu-chaos-seq > /tmp/greengpu-chaos-seq.txt
+	/tmp/greengpu-chaos -run all -faults default -jobs 8 -out /tmp/greengpu-chaos-par > /tmp/greengpu-chaos-par.txt
+	diff -u /tmp/greengpu-chaos-seq.txt /tmp/greengpu-chaos-par.txt
+	diff -r /tmp/greengpu-chaos-seq /tmp/greengpu-chaos-par
+	rm -rf /tmp/greengpu-chaos /tmp/greengpu-chaos-seq /tmp/greengpu-chaos-par \
+		/tmp/greengpu-chaos-seq.txt /tmp/greengpu-chaos-par.txt
+
 # lint-docs enforces godoc hygiene on every exported identifier (see
 # cmd/lintdocs); linkcheck verifies the relative links in the markdown docs
 # (see cmd/linkcheck).
@@ -107,4 +123,4 @@ lint-docs:
 linkcheck:
 	$(GO) run ./cmd/linkcheck README.md DESIGN.md ROADMAP.md CHANGES.md docs
 
-check: fmtcheck vet build race bench determinism bench-gate lint-docs linkcheck
+check: fmtcheck vet build race bench determinism chaos bench-gate lint-docs linkcheck

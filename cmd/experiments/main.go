@@ -10,7 +10,7 @@
 //	experiments -jobs 1             # force sequential execution
 //
 // Experiment ids: fig1, fig2, fig5, fig6, fig7, fig8, table2, sweep,
-// ablations, extensions, all.
+// ablations, extensions, resilience, all.
 //
 // Every experiment point runs on a fresh simulated machine with
 // deterministic seeding, so the output is byte-identical for every -jobs
@@ -46,6 +46,14 @@
 // retained epochs as an aligned table to stderr — the controller's last K
 // decisions before things went wrong.
 //
+// Chaos mode (see docs/ROBUSTNESS.md) injects the moderate all-classes
+// fault plan into every run that does not sweep its own, exercising the
+// hardened recovery paths across the whole suite. Output is still
+// byte-identical for every -jobs value — fault sequences are pure
+// functions of each point's plan — but differs from a fault-free run:
+//
+//	experiments -faults default     # CI's chaos determinism job
+//
 // The -cpuprofile and -memprofile flags write pprof profiles covering the
 // full run, for inspecting the simulator's hot paths (see docs/PERF.md):
 //
@@ -66,6 +74,7 @@ import (
 	"time"
 
 	"greengpu/internal/experiments"
+	"greengpu/internal/faultinject"
 	"greengpu/internal/runcache"
 	"greengpu/internal/telemetry"
 	"greengpu/internal/trace"
@@ -84,6 +93,7 @@ type options struct {
 	noCache     bool
 	cacheDir    string
 	benchCache  string
+	faults      string
 	metrics     string
 	metricsJSON string
 	flightRec   int
@@ -92,7 +102,7 @@ type options struct {
 
 func registerFlags(fs *flag.FlagSet) *options {
 	o := &options{}
-	fs.StringVar(&o.run, "run", "all", "comma-separated experiment ids (fig1 fig2 fig5 fig6 fig7 fig8 table2 sweep ablations extensions all)")
+	fs.StringVar(&o.run, "run", "all", "comma-separated experiment ids (fig1 fig2 fig5 fig6 fig7 fig8 table2 sweep ablations extensions resilience all)")
 	fs.StringVar(&o.out, "out", "", "directory for CSV output (empty = none)")
 	fs.BoolVar(&o.markdown, "markdown", false, "render tables as GitHub markdown instead of aligned text")
 	fs.IntVar(&o.jobs, "jobs", 0, "concurrent experiment points (0 = one per CPU, 1 = sequential)")
@@ -101,6 +111,7 @@ func registerFlags(fs *flag.FlagSet) *options {
 	fs.BoolVar(&o.noCache, "no-cache", false, "disable the run cache (memoization of repeated simulation points)")
 	fs.StringVar(&o.cacheDir, "cache-dir", "", "persist cached simulation points under this directory (empty = in-memory only)")
 	fs.StringVar(&o.benchCache, "bench-cache", "", "instead of printing tables, time the suite no-cache/cold/warm and write the JSON measurements to this file")
+	fs.StringVar(&o.faults, "faults", "off", "chaos mode: inject the default fault plan into every run that doesn't sweep its own (off, default)")
 	fs.StringVar(&o.metrics, "metrics", "", "enable telemetry and write a Prometheus text-format snapshot to this file at exit (- = stderr)")
 	fs.StringVar(&o.metricsJSON, "metrics-json", "", "enable telemetry and write a JSON metrics snapshot to this file at exit (- = stderr)")
 	fs.IntVar(&o.flightRec, "flight-recorder", 0, "enable telemetry and record the last K DVFS epochs; dumped to stderr as a table if the run fails")
@@ -150,6 +161,9 @@ func run(o *options, stdout, stderr io.Writer) (err error) {
 		return err
 	}
 	env.Jobs = o.jobs
+	if err := applyFaultsFlag(o, env); err != nil {
+		return err
+	}
 	if !o.noCache {
 		cache, err := runcache.New(runcache.Options{Dir: o.cacheDir})
 		if err != nil {
@@ -239,6 +253,25 @@ func setupTelemetry(o *options, stderr io.Writer) (finish func(runErr error) err
 	}, nil
 }
 
+// chaosSeed seeds the -faults default ambient plan. Fixed, so chaos runs
+// reproduce across processes and machines — the CI chaos job relies on it
+// to diff -jobs 1 against -jobs 8.
+const chaosSeed = 2012
+
+// applyFaultsFlag installs the -faults chaos plan on the environment.
+func applyFaultsFlag(o *options, env *experiments.Env) error {
+	switch o.faults {
+	case "", "off":
+		return nil
+	case "default":
+		plan := faultinject.Default(chaosSeed)
+		env.FaultPlan = &plan
+		return nil
+	default:
+		return fmt.Errorf("-faults %q: must be off or default", o.faults)
+	}
+}
+
 // emitTo runs emit against stderr when path is "-", or against a freshly
 // created file otherwise. Telemetry output never goes to stdout: stdout
 // carries only the deterministic experiment tables.
@@ -294,6 +327,9 @@ func benchCacheSuite(o *options, stderr io.Writer) error {
 		return err
 	}
 	env.Jobs = o.jobs
+	if err := applyFaultsFlag(o, env); err != nil {
+		return err
+	}
 
 	var runs []benchRun
 	record := func(name string, d time.Duration, s runcache.Stats) {
@@ -394,8 +430,9 @@ func startProfiles(cpu, mem string) (stop func() error, err error) {
 	}, nil
 }
 
-// allIDs is the "all" suite, in the order the paper presents it.
-var allIDs = []string{"table2", "fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "sweep", "ablations", "extensions"}
+// allIDs is the "all" suite, in the order the paper presents it; the
+// post-paper studies (ablations, extensions, resilience) follow.
+var allIDs = []string{"table2", "fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "sweep", "ablations", "extensions", "resilience"}
 
 // handlers routes experiment ids to their runners. Keeping the dispatch
 // table explicit (rather than a switch) lets tests verify the id set
@@ -514,6 +551,15 @@ var handlers = map[string]func(*runner) error{
 		}
 		tables = append(tables, experiments.SMComparisonTable(srows))
 		return r.emit("extensions", tables...)
+	},
+	"resilience": func(r *runner) error {
+		rows, err := r.env.FaultResilience("kmeans", "hotspot")
+		if err != nil {
+			return err
+		}
+		// Emitted as fault_resilience.csv: the file names the study, the
+		// id stays short for -run.
+		return r.emit("fault_resilience", experiments.FaultResilienceTable(rows))
 	},
 }
 

@@ -49,6 +49,7 @@ func TestRegisterFlagsRoundTrip(t *testing.T) {
 		"-no-cache",
 		"-cache-dir", ".cache",
 		"-bench-cache", "bench.json",
+		"-faults", "default",
 		"-metrics", "m.prom",
 		"-metrics-json", "m.json",
 		"-flight-recorder", "64",
@@ -60,7 +61,7 @@ func TestRegisterFlagsRoundTrip(t *testing.T) {
 	want := options{run: "fig1,fig2", out: "res", markdown: true, jobs: 3,
 		cpuprofile: "cpu.out", memprofile: "mem.out",
 		noCache: true, cacheDir: ".cache", benchCache: "bench.json",
-		metrics: "m.prom", metricsJSON: "m.json",
+		faults: "default", metrics: "m.prom", metricsJSON: "m.json",
 		flightRec: 64, flightOut: "flight.json"}
 	if *o != want {
 		t.Errorf("parsed options = %+v, want %+v", *o, want)
@@ -73,12 +74,12 @@ func TestRegisterFlagsDefaults(t *testing.T) {
 	if err := fs.Parse(nil); err != nil {
 		t.Fatalf("Parse: %v", err)
 	}
-	want := options{run: "all"}
+	want := options{run: "all", faults: "off"}
 	if *o != want {
 		t.Errorf("default options = %+v, want %+v", *o, want)
 	}
 	// Every option field must be reachable from the command line.
-	for _, name := range []string{"run", "out", "markdown", "jobs", "cpuprofile", "memprofile", "no-cache", "cache-dir", "bench-cache", "metrics", "metrics-json", "flight-recorder", "flight-recorder-out"} {
+	for _, name := range []string{"run", "out", "markdown", "jobs", "cpuprofile", "memprofile", "no-cache", "cache-dir", "bench-cache", "faults", "metrics", "metrics-json", "flight-recorder", "flight-recorder-out"} {
 		if fs.Lookup(name) == nil {
 			t.Errorf("flag -%s not registered", name)
 		}

@@ -31,6 +31,7 @@ import (
 	"greengpu/internal/cpusim"
 	"greengpu/internal/division"
 	"greengpu/internal/dvfs"
+	"greengpu/internal/faultinject"
 	"greengpu/internal/governor"
 	"greengpu/internal/sim"
 	"greengpu/internal/telemetry"
@@ -146,6 +147,20 @@ type Config struct {
 	// utilizations; only the enforcement is perturbed.
 	ActuatorFilter func(d dvfs.Decision) dvfs.Decision
 
+	// FaultPlan, when non-nil and not Zero, injects the deterministic
+	// sensor, actuator, meter and straggler faults of internal/faultinject
+	// and arms the hardened recovery paths (hold-last-good, retry with
+	// backoff, watchdog failsafe — see Recovery). Unlike SensorFilter and
+	// ActuatorFilter the plan is pure data, so faulty runs stay cacheable:
+	// the run cache fingerprints the plan into the point key. A nil or
+	// Zero plan leaves the control loop byte-identical to a build without
+	// fault injection.
+	FaultPlan *faultinject.Plan
+
+	// Recovery tunes the hardened recovery paths armed by FaultPlan. The
+	// zero value selects the documented defaults.
+	Recovery RecoveryConfig
+
 	// OnDVFS, if non-nil, observes every tier 2 decision.
 	OnDVFS func(at time.Duration, uCore, uMem float64, d dvfs.Decision)
 	// OnCPUGovernor, if non-nil, observes every CPU governor decision.
@@ -157,6 +172,64 @@ type Config struct {
 // Levels names a clock operating point across the machine's domains.
 type Levels struct {
 	Core, Mem, CPU int
+}
+
+// RecoveryConfig tunes the hardened control paths used when a fault plan
+// is armed. Zero fields take the dvfs.GuardConfig defaults.
+type RecoveryConfig struct {
+	// WatchdogK is the consecutive-transition-failure count that trips
+	// the watchdog onto the failsafe (peak) levels. Default 3.
+	WatchdogK int
+	// BackoffMax caps the transition-retry backoff in epochs. Default 8.
+	BackoffMax int
+	// FailsafeHold is how many epochs the failsafe levels are pinned
+	// after a watchdog trip. Default 8.
+	FailsafeHold int
+}
+
+// Validate reports the first problem with the configuration, if any.
+func (c *RecoveryConfig) Validate() error {
+	g := dvfs.GuardConfig{WatchdogK: c.WatchdogK, BackoffMax: c.BackoffMax, FailsafeHold: c.FailsafeHold}
+	return g.Validate()
+}
+
+// guardConfig builds the dvfs guard configuration for the given failsafe.
+func (c *RecoveryConfig) guardConfig(failsafe dvfs.Decision) dvfs.GuardConfig {
+	return dvfs.GuardConfig{
+		WatchdogK:    c.WatchdogK,
+		BackoffMax:   c.BackoffMax,
+		FailsafeHold: c.FailsafeHold,
+		Failsafe:     failsafe,
+	}
+}
+
+// RecoveryCounts tallies the recovery actions the hardened control paths
+// took, summed over the GPU guard, the CPU guard, and the hardened CPU
+// governor.
+type RecoveryCounts struct {
+	// HeldSamples is sensor samples replaced by the last good reading.
+	HeldSamples uint64
+	// Retries is frequency-transition attempts re-issued after a failure.
+	Retries uint64
+	// DeferredApplies is delayed transitions that eventually landed.
+	DeferredApplies uint64
+	// WatchdogTrips is watchdog activations onto the failsafe levels.
+	WatchdogTrips uint64
+}
+
+// Total returns the number of recovery actions across all kinds.
+func (c RecoveryCounts) Total() uint64 {
+	return c.HeldSamples + c.Retries + c.DeferredApplies + c.WatchdogTrips
+}
+
+// Sub returns the per-kind difference c − earlier, for windowed counts.
+func (c RecoveryCounts) Sub(earlier RecoveryCounts) RecoveryCounts {
+	return RecoveryCounts{
+		HeldSamples:     c.HeldSamples - earlier.HeldSamples,
+		Retries:         c.Retries - earlier.Retries,
+		DeferredApplies: c.DeferredApplies - earlier.DeferredApplies,
+		WatchdogTrips:   c.WatchdogTrips - earlier.WatchdogTrips,
+	}
 }
 
 // DefaultConfig returns the paper's settings for the given mode.
@@ -203,6 +276,14 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("core: StaticRatio = %v, must be in [0,1]", *c.StaticRatio)
 		}
 	}
+	if c.FaultPlan != nil {
+		if err := c.FaultPlan.Validate(); err != nil {
+			return err
+		}
+	}
+	if err := c.Recovery.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -226,6 +307,12 @@ type IterationStats struct {
 	CoreLevel, MemLevel int
 	// CPULevel is the processor P-state at iteration end.
 	CPULevel int
+	// Faults counts the faults injected during the iteration by class
+	// (zero unless a fault plan is armed).
+	Faults faultinject.Counts
+	// Recoveries counts the recovery actions the hardened control paths
+	// took during the iteration (zero unless a fault plan is armed).
+	Recoveries RecoveryCounts
 }
 
 // Result summarizes a framework run.
@@ -251,6 +338,13 @@ type Result struct {
 	DivisionHistory []division.Observation
 	// DVFSSteps counts tier 2 decisions taken.
 	DVFSSteps int
+
+	// Faults totals the faults injected over the run by class (zero
+	// unless a fault plan was armed).
+	Faults faultinject.Counts
+	// Recoveries totals the recovery actions the hardened control paths
+	// took over the run (zero unless a fault plan was armed).
+	Recoveries RecoveryCounts
 }
 
 // AveragePower returns the run's mean system power.
@@ -292,6 +386,19 @@ type framework struct {
 	scaler  *dvfs.Scaler
 	cpuGov  governor.Policy
 
+	// Fault-injection state, all nil/zero unless a non-Zero FaultPlan is
+	// armed. The fault-free path never touches any of it beyond nil checks.
+	injector *faultinject.Injector
+	gpuGuard *dvfs.Guard
+	cpuGuard *dvfs.Guard
+	hardGov  *governor.Hardened
+	gpuGate  func() (dvfs.TransitionResult, int)
+	cpuGate  func() (dvfs.TransitionResult, int)
+	// Totals at the start of the current iteration, for per-iteration
+	// deltas.
+	faultsAtIter faultinject.Counts
+	recovAtIter  RecoveryCounts
+
 	ratio      float64
 	iterations int
 
@@ -316,6 +423,19 @@ func (f *framework) run() (*Result, error) {
 		f.iterations = cfg.Iterations
 	}
 	f.result = &Result{Workload: f.profile.Name, Mode: cfg.Mode}
+
+	// Arm fault injection. A nil or Zero plan arms nothing: the control
+	// loop below then follows the exact fault-free path (the guards and
+	// gates stay nil), preserving the zero-cost-off contract.
+	if cfg.FaultPlan != nil && !cfg.FaultPlan.Zero() {
+		f.injector = faultinject.New(*cfg.FaultPlan)
+		f.gpuGate = func() (dvfs.TransitionResult, int) {
+			return gateResult(f.injector.GPUTransition())
+		}
+		f.cpuGate = func() (dvfs.TransitionResult, int) {
+			return gateResult(f.injector.CPUTransition())
+		}
+	}
 
 	// Initial clocks: modes without tier 2 pin everything at peak (the
 	// Rodinia default / best-performance configuration); modes with
@@ -366,6 +486,22 @@ func (f *framework) run() (*Result, error) {
 		if f.cpuGov == nil {
 			f.cpuGov = governor.NewOndemand()
 		}
+		if f.injector != nil {
+			// Harden both control loops: guards gate every transition and
+			// hold-last-good covers dropped samples; the failsafe is the
+			// peak (performance-safe) operating point of each domain.
+			f.gpuGuard = dvfs.NewGuard(
+				cfg.Recovery.guardConfig(dvfs.Decision{
+					CoreLevel: len(gpu.CoreLevels()) - 1,
+					MemLevel:  len(gpu.MemLevels()) - 1,
+				}),
+				dvfs.Decision{CoreLevel: gpu.CoreLevel(), MemLevel: gpu.MemLevel()})
+			f.cpuGuard = dvfs.NewGuard(
+				cfg.Recovery.guardConfig(dvfs.Decision{CoreLevel: cpu.Levels() - 1}),
+				dvfs.Decision{CoreLevel: cpu.Level()})
+			f.hardGov = governor.Harden(f.cpuGov)
+			f.cpuGov = f.hardGov
+		}
 		var smPolicy *dvfs.SMPolicy
 		if cfg.SMScaling {
 			smPolicy = dvfs.NewSMPolicy(gpu.Config().SMs)
@@ -376,8 +512,19 @@ func (f *framework) run() (*Result, error) {
 			w := cnt.Since(lastCnt)
 			lastCnt = cnt
 			uc, um := w.CoreUtil, w.MemUtil
+			var meterFault faultinject.MeterFault
+			if f.injector != nil {
+				// The meter's fate is drawn every epoch, observed or not,
+				// so fault counts never depend on who is watching.
+				meterFault = f.injector.Meter()
+				uc, um = f.injector.GPUSensor(uc, um)
+			}
 			if cfg.SensorFilter != nil {
 				uc, um = cfg.SensorFilter(uc, um)
+			}
+			held := false
+			if f.gpuGuard != nil {
+				uc, um, held = f.gpuGuard.Sample(uc, um)
 			}
 			if smPolicy != nil {
 				gpu.SetActiveSMs(smPolicy.Next(uc, gpu.ActiveSMs()))
@@ -389,6 +536,9 @@ func (f *framework) run() (*Result, error) {
 				d.CoreLevel = clampInt(d.CoreLevel, 0, nc-1)
 				d.MemLevel = clampInt(d.MemLevel, 0, nm-1)
 			}
+			if f.gpuGuard != nil {
+				d = f.gpuGuard.Step(d, f.gpuGate)
+			}
 			gpu.SetLevels(d.CoreLevel, d.MemLevel)
 			f.result.DVFSSteps++
 			if cfg.OnDVFS != nil {
@@ -399,6 +549,14 @@ func (f *framework) run() (*Result, error) {
 			// record carries exactly what the controller saw and did,
 			// so a bad decision can be audited after the fact.
 			if rec := telemetry.Recorder(); rec != nil {
+				power := m.SystemPower().Watts()
+				var faults uint64
+				failsafe := false
+				if f.injector != nil {
+					power = f.injector.ApplyMeter(meterFault, power)
+					faults = f.injector.Counts().Total()
+					failsafe = f.gpuGuard.InFailsafe()
+				}
 				rec.Record(telemetry.EpochRecord{
 					Workload:  f.profile.Name,
 					Mode:      cfg.Mode.String(),
@@ -412,13 +570,24 @@ func (f *framework) run() (*Result, error) {
 					MemMHz:    gpu.MemLevels()[d.MemLevel].MHz(),
 					CPULevel:  cpu.Level(),
 					Ratio:     f.ratio,
-					PowerW:    m.SystemPower().Watts(),
+					PowerW:    power,
+					Faults:    faults,
+					Held:      held,
+					Failsafe:  failsafe,
 				})
 			}
 		})
 		f.govTicker = m.Engine.Every(cfg.CPUGovernorInterval, "tier2:cpu-governor", func() {
 			u := cpu.MaxCoreUtilization()
+			if f.injector != nil {
+				u = f.injector.CPUSensor(u)
+			}
 			next := f.cpuGov.Next(u, cpu.Level(), cpu.Levels())
+			if f.cpuGuard != nil {
+				// The guard gates the P-state write like a GPU transition;
+				// the unused memory domain stays at level 0.
+				next = f.cpuGuard.Step(dvfs.Decision{CoreLevel: next}, f.cpuGate).CoreLevel
+			}
 			cpu.SetLevel(next)
 			if cfg.OnCPUGovernor != nil {
 				cfg.OnCPUGovernor(m.Engine.Now(), u, next)
@@ -452,7 +621,43 @@ func (f *framework) run() (*Result, error) {
 	if f.divider != nil {
 		r.DivisionHistory = f.divider.History()
 	}
+	if f.injector != nil {
+		r.Faults = f.injector.Counts()
+		r.Recoveries = f.recoverySnapshot()
+	}
 	return r, nil
+}
+
+// gateResult adapts a faultinject transition verdict to the guard's gate
+// contract.
+func gateResult(o faultinject.TransitionOutcome, delay int) (dvfs.TransitionResult, int) {
+	switch o {
+	case faultinject.TransitionRejected:
+		return dvfs.TransitionFailed, 0
+	case faultinject.TransitionDelayed:
+		return dvfs.TransitionDeferred, delay
+	default:
+		return dvfs.TransitionApplied, 0
+	}
+}
+
+// recoverySnapshot sums the recovery counters across the hardened paths.
+func (f *framework) recoverySnapshot() RecoveryCounts {
+	var rc RecoveryCounts
+	for _, g := range []*dvfs.Guard{f.gpuGuard, f.cpuGuard} {
+		if g == nil {
+			continue
+		}
+		c := g.Counts()
+		rc.HeldSamples += c.HeldSamples
+		rc.Retries += c.Retries
+		rc.DeferredApplies += c.DeferredApplies
+		rc.WatchdogTrips += c.WatchdogTrips
+	}
+	if f.hardGov != nil {
+		rc.HeldSamples += f.hardGov.Holds()
+	}
+	return rc
 }
 
 // startIteration launches both sides of iteration f.iterIndex.
@@ -475,10 +680,16 @@ func (f *framework) startIteration() {
 		}
 	}
 
-	// GPU side: host→device transfer, then the kernel.
+	// GPU side: host→device transfer, then the kernel. A straggler
+	// iteration inflates the kernel's work (it runs long) but not the
+	// transfer (no extra data moves).
 	if gpuUnits > 1e-9 {
+		kernelUnits := gpuUnits
+		if f.injector != nil {
+			kernelUnits *= f.injector.Straggler()
+		}
 		name := fmt.Sprintf("%s:iter%d", f.profile.Name, f.iterIndex)
-		k := f.profile.GPUKernel(name, gpuUnits)
+		k := f.profile.GPUKernel(name, kernelUnits)
 		k.OnComplete = func() { f.sideDone(&f.gpuPending, &f.gpuDoneAt) }
 		xfer := f.profile.TransferBytes(gpuUnits)
 		m.Bus.Transfer(xfer, name+":h2d", func() { m.GPU.Submit(k) })
@@ -559,6 +770,14 @@ func (f *framework) endIteration() {
 	stats.EnergyGPU = cur.GPU - f.iterStartE.GPU
 	stats.EnergyCPU = cur.CPU - f.iterStartE.CPU
 	stats.Energy = stats.EnergyGPU + stats.EnergyCPU
+	if f.injector != nil {
+		curF := f.injector.Counts()
+		stats.Faults = curF.Sub(f.faultsAtIter)
+		f.faultsAtIter = curF
+		curR := f.recoverySnapshot()
+		stats.Recoveries = curR.Sub(f.recovAtIter)
+		f.recovAtIter = curR
+	}
 	f.result.Iterations = append(f.result.Iterations, stats)
 	metricIterations.Inc()
 	if f.cfg.OnIteration != nil {

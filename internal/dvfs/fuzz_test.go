@@ -1,0 +1,77 @@
+package dvfs
+
+import (
+	"math"
+	"testing"
+
+	"greengpu/internal/units"
+)
+
+// TestSanitizeUtil pins the sensor-sanitizing contract every controller
+// entry point relies on: NaN and ±Inf read as idle, finite values clamp to
+// [0,1], in-range values pass through untouched.
+func TestSanitizeUtil(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{math.NaN(), 0},
+		{math.Inf(1), 0},
+		{math.Inf(-1), 0},
+		{-0.5, 0},
+		{-math.SmallestNonzeroFloat64, 0},
+		{0, 0},
+		{0.37, 0.37},
+		{1, 1},
+		{1.0000001, 1},
+		{1e300, 1},
+	}
+	for _, c := range cases {
+		if got := sanitizeUtil(c.in); got != c.want {
+			t.Errorf("sanitizeUtil(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// FuzzScalerStep feeds arbitrary (including non-finite) utilizations into
+// the scaler and asserts it never panics, always returns in-range levels,
+// and keeps its weight table finite.
+func FuzzScalerStep(f *testing.F) {
+	f.Add(0.5, 0.5)
+	f.Add(math.NaN(), math.Inf(1))
+	f.Add(math.Inf(-1), -3.7)
+	f.Add(1e308, -1e308)
+	f.Add(-0.0, 2.0)
+
+	core := []units.Frequency{200e6, 300e6, 400e6, 500e6}
+	mem := []units.Frequency{600e6, 800e6, 900e6}
+	s := NewScaler(core, mem, DefaultParams())
+	f.Fuzz(func(t *testing.T, uc, um float64) {
+		d := s.Step(uc, um)
+		if d.CoreLevel < 0 || d.CoreLevel >= len(core) {
+			t.Fatalf("Step(%v,%v) core level %d out of range [0,%d)", uc, um, d.CoreLevel, len(core))
+		}
+		if d.MemLevel < 0 || d.MemLevel >= len(mem) {
+			t.Fatalf("Step(%v,%v) mem level %d out of range [0,%d)", uc, um, d.MemLevel, len(mem))
+		}
+		for i := 0; i < len(core); i++ {
+			for j := 0; j < len(mem); j++ {
+				if w := s.Weight(i, j); math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+					t.Fatalf("Step(%v,%v) left weight(%d,%d) = %v", uc, um, i, j, w)
+				}
+			}
+		}
+	})
+}
+
+// FuzzGuardSample asserts hold-last-good always yields finite in-range
+// utilizations no matter what the sensor delivers.
+func FuzzGuardSample(f *testing.F) {
+	f.Add(0.5, 0.5)
+	f.Add(math.NaN(), 0.2)
+	f.Add(math.Inf(1), math.Inf(-1))
+	g := NewGuard(GuardConfig{Failsafe: Decision{CoreLevel: 3, MemLevel: 2}}, Decision{})
+	f.Fuzz(func(t *testing.T, uc, um float64) {
+		guc, gum, _ := g.Sample(uc, um)
+		if math.IsNaN(guc) || math.IsInf(guc, 0) || math.IsNaN(gum) || math.IsInf(gum, 0) {
+			t.Fatalf("Sample(%v,%v) delivered non-finite (%v,%v)", uc, um, guc, gum)
+		}
+	})
+}

@@ -2,13 +2,12 @@ package experiments
 
 import (
 	"fmt"
-	"math"
 	"time"
 
 	"greengpu/internal/core"
 	"greengpu/internal/division"
 	"greengpu/internal/dvfs"
-	"greengpu/internal/parallel"
+	"greengpu/internal/faultinject"
 	"greengpu/internal/trace"
 	"greengpu/internal/units"
 )
@@ -197,35 +196,31 @@ type NoiseRow struct {
 	ExecDelta float64
 }
 
-// sensorNoiseSeed is the base seed for sensor-noise injection. Per-sigma
-// task seeds derive from it with parallel.TaskSeed.
+// sensorNoiseSeed is the base seed for sensor-noise injection. The fault
+// injector's GPU-noise channel derives the per-sigma stream from it.
 const sensorNoiseSeed = 42
 
 // AblationSensorNoise injects uniform ±sigma noise into the utilization
 // readings and measures how gracefully the scaler degrades.
 //
-// Each noise sample is derived statelessly from (sigma, sample index)
-// rather than drawn from one shared PRNG stream: sample k of the sigma=σ
-// run is the same value no matter which other runs executed, in what
-// order, on how many workers, or even which other sigmas appear in the
-// sweep. That makes each row a pure function of (workload, sigma) under
-// any execution schedule.
+// The noise comes from internal/faultinject's GPU-sensor noise channel,
+// which preserves this ablation's original stateless derivation: sample k
+// of the sigma=σ run is the same value no matter which other runs
+// executed, in what order, on how many workers, or which other sigmas
+// appear in the sweep. Each row is therefore a pure function of
+// (workload, sigma) under any execution schedule — and, because a fault
+// plan is plain data where the old SensorFilter closure was opaque code,
+// the rows now memoize through the run cache too.
+// TestAblationSensorNoiseGolden pins the rendered CSV byte-for-byte
+// against the pre-rewire results/ablations_5.csv.
 func (e *Env) AblationSensorNoise(name string, sigmas []float64) ([]NoiseRow, error) {
 	base, err := e.run(name, baselineConfig(0))
 	if err != nil {
 		return nil, err
 	}
 	return mapPoints(e, sigmas, func(_ int, sigma float64) (NoiseRow, error) {
-		seed := parallel.TaskSeed(sensorNoiseSeed^math.Float64bits(sigma), 0)
-		var k uint64 // sample counter within this run (the sim is single-threaded)
 		cfg := core.DefaultConfig(core.FreqScaling)
-		cfg.SensorFilter = func(uc, um float64) (float64, float64) {
-			a := parallel.Uniform(seed, k)
-			b := parallel.Uniform(seed, k+1)
-			k += 2
-			return units.Clamp(uc+(a*2-1)*sigma, 0, 1),
-				units.Clamp(um+(b*2-1)*sigma, 0, 1)
-		}
+		cfg.FaultPlan = &faultinject.Plan{Seed: sensorNoiseSeed, GPUNoiseSigma: sigma}
 		r, err := e.run(name, cfg)
 		if err != nil {
 			return NoiseRow{}, err
@@ -236,6 +231,21 @@ func (e *Env) AblationSensorNoise(name string, sigmas []float64) ([]NoiseRow, er
 			ExecDelta: float64(r.TotalTime)/float64(base.TotalTime) - 1,
 		}, nil
 	})
+}
+
+// NoiseTable renders the sensor-noise ablation rows. It is the exact
+// rendering AblationTables emits as its fifth table; the golden-diff test
+// uses it to regenerate results/ablations_5.csv byte-for-byte.
+func NoiseTable(name string, rows []NoiseRow) *trace.Table {
+	t := trace.NewTable("Ablation — utilization sensor noise ("+name+", GPU-only)",
+		"noise ±", "gpu saving %", "exec delta %")
+	for _, r := range rows {
+		t.AddRow(
+			fmt.Sprintf("%.2f", r.Sigma),
+			fmt.Sprintf("%.2f", r.GPUSaving*100),
+			fmt.Sprintf("%.2f", r.ExecDelta*100))
+	}
+	return t
 }
 
 // GammaRow is one overlap-factor setting's Fig. 6-style summary.
@@ -349,15 +359,7 @@ func (e *Env) AblationTables(name string) ([]*trace.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t = trace.NewTable("Ablation — utilization sensor noise ("+name+", GPU-only)",
-		"noise ±", "gpu saving %", "exec delta %")
-	for _, r := range noise {
-		t.AddRow(
-			fmt.Sprintf("%.2f", r.Sigma),
-			fmt.Sprintf("%.2f", r.GPUSaving*100),
-			fmt.Sprintf("%.2f", r.ExecDelta*100))
-	}
-	tables = append(tables, t)
+	tables = append(tables, NoiseTable(name, noise))
 
 	// γ is bounded above by the workload set's feasibility: bfs at
 	// (0.85, 0.82) requires max + γ·min ≤ 1, i.e. γ ≤ 0.17 (nbody binds slightly tighter).

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"bytes"
+	"os"
 	"testing"
 	"time"
 )
@@ -60,6 +62,29 @@ func TestAblationSensorNoiseGracefulDegradation(t *testing.T) {
 	// the performance-favouring loss keeps decisions near the peak.
 	if noisy.ExecDelta > clean.ExecDelta+0.05 {
 		t.Errorf("noise inflated exec delta: %.2f%% -> %.2f%%", clean.ExecDelta*100, noisy.ExecDelta*100)
+	}
+}
+
+// TestAblationSensorNoiseGolden pins the faultinject rewire of the sensor
+// noise ablation against the CSV the pre-rewire SensorFilter closure
+// produced: the injector's GPU-noise channel must reproduce the historical
+// seed derivation and draw order exactly, byte-for-byte.
+func TestAblationSensorNoiseGolden(t *testing.T) {
+	want, err := os.ReadFile("../../results/ablations_5.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := env.AblationSensorNoise("kmeans", []float64{0, 0.05, 0.10, 0.20, 0.40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := NoiseTable("kmeans", rows).WriteCSV(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("sensor-noise ablation diverged from committed results/ablations_5.csv\ngot:\n%swant:\n%s",
+			got.String(), want)
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"greengpu/internal/bus"
 	"greengpu/internal/core"
 	"greengpu/internal/cpusim"
+	"greengpu/internal/faultinject"
 	"greengpu/internal/gpusim"
 	"greengpu/internal/parallel"
 	"greengpu/internal/runcache"
@@ -50,6 +51,15 @@ type Env struct {
 	// per-task deterministic seeding — so Jobs only trades wall-clock
 	// time for cores.
 	Jobs int
+
+	// FaultPlan, when non-nil, is the chaos-mode ambient fault plan: every
+	// run whose configuration does not carry its own plan injects this one
+	// (cmd/experiments -faults default). Per-point configs always win, so
+	// studies that sweep explicit plans — the resilience study, the
+	// sensor-noise ablation — are unaffected. Outputs remain byte-identical
+	// at any Jobs value: the plan is plain data, fingerprinted into each
+	// point's cache key, and injection inside a run is seed-deterministic.
+	FaultPlan *faultinject.Plan
 
 	// Cache, when non-nil, memoizes simulation points by content-addressed
 	// fingerprint: repeated points (the best-performance baseline alone is
@@ -138,6 +148,7 @@ func (e *Env) run(name string, cfg core.Config) (*core.Result, error) {
 // accumulated meter state would leak between points and break bitwise
 // reproducibility.
 func (e *Env) runPoint(gpu gpusim.Config, cpu cpusim.Config, b bus.Config, p *workload.Profile, cfg core.Config) (*core.Result, error) {
+	e.applyFaultPlan(&cfg)
 	if e.Cache == nil || !runcache.Cacheable(&cfg) {
 		return core.Run(testbed.NewFrom(gpu, cpu, b), p, cfg)
 	}
@@ -161,6 +172,7 @@ func (e *Env) runMeteredGPU(name string, cfg core.Config) (*core.Result, []float
 	if err != nil {
 		return nil, nil, err
 	}
+	e.applyFaultPlan(&cfg)
 	compute := func() (runcache.Value, error) {
 		m := e.Machine()
 		m.MeterGPU.Start()
@@ -188,10 +200,20 @@ func (e *Env) runMeteredGPU(name string, cfg core.Config) (*core.Result, []float
 	return v.Result, v.GPUPower, nil
 }
 
+// applyFaultPlan installs the chaos-mode ambient plan on configurations
+// that do not carry their own. Both run choke points (runPoint,
+// runMeteredGPU) call it before cacheability is decided, so chaos runs are
+// fingerprinted under the plan they actually executed.
+func (e *Env) applyFaultPlan(cfg *core.Config) {
+	if cfg.FaultPlan == nil && e.FaultPlan != nil {
+		cfg.FaultPlan = e.FaultPlan
+	}
+}
+
 // derive builds an environment from explicit device configurations like
 // NewEnvFrom, carrying over this environment's execution settings (Jobs,
-// Cache). Studies that recalibrate against other devices use it so one
-// Jobs knob and one cache govern the whole experiment tree.
+// Cache, chaos FaultPlan). Studies that recalibrate against other devices
+// use it so one Jobs knob and one cache govern the whole experiment tree.
 func (e *Env) derive(gpu gpusim.Config, cpu cpusim.Config, b bus.Config) (*Env, error) {
 	env2, err := NewEnvFrom(gpu, cpu, b)
 	if err != nil {
@@ -199,6 +221,7 @@ func (e *Env) derive(gpu gpusim.Config, cpu cpusim.Config, b bus.Config) (*Env, 
 	}
 	env2.Jobs = e.Jobs
 	env2.Cache = e.Cache
+	env2.FaultPlan = e.FaultPlan
 	return env2, nil
 }
 

@@ -1,0 +1,279 @@
+package faultinject
+
+import (
+	"math"
+	"testing"
+
+	"greengpu/internal/parallel"
+	"greengpu/internal/units"
+)
+
+// TestZeroPlanInjectsNothing: the zero-value plan passes every sample and
+// transition through untouched and counts nothing.
+func TestZeroPlanInjectsNothing(t *testing.T) {
+	var p Plan
+	if !p.Zero() {
+		t.Fatal("zero-value Plan is not Zero()")
+	}
+	in := New(p)
+	for i := 0; i < 1000; i++ {
+		uc, um := float64(i%7)/7, float64(i%11)/11
+		gc, gm := in.GPUSensor(uc, um)
+		if gc != uc || gm != um {
+			t.Fatalf("GPUSensor(%v,%v) = (%v,%v) under zero plan", uc, um, gc, gm)
+		}
+		if cu := in.CPUSensor(uc); cu != uc {
+			t.Fatalf("CPUSensor(%v) = %v under zero plan", uc, cu)
+		}
+		if o, d := in.GPUTransition(); o != TransitionOK || d != 0 {
+			t.Fatalf("GPUTransition = (%v,%d) under zero plan", o, d)
+		}
+		if o, d := in.CPUTransition(); o != TransitionOK || d != 0 {
+			t.Fatalf("CPUTransition = (%v,%d) under zero plan", o, d)
+		}
+		if f := in.Meter(); f != MeterOK {
+			t.Fatalf("Meter = %v under zero plan", f)
+		}
+		if s := in.Straggler(); s != 1 {
+			t.Fatalf("Straggler = %v under zero plan", s)
+		}
+	}
+	if got := in.Counts(); got != (Counts{}) {
+		t.Fatalf("zero plan counted faults: %+v", got)
+	}
+}
+
+// TestDeterministicReplay: two injectors built from the same plan produce
+// identical fault sequences; a different seed produces a different one.
+func TestDeterministicReplay(t *testing.T) {
+	p := Default(7)
+	a, b := New(p), New(p)
+	diverged := false
+	other := New(Default(8))
+	for i := 0; i < 2000; i++ {
+		uc, um := float64(i%13)/13, float64(i%17)/17
+		ac, am := a.GPUSensor(uc, um)
+		bc, bm := b.GPUSensor(uc, um)
+		if !same(ac, bc) || !same(am, bm) {
+			t.Fatalf("draw %d: GPU sensors diverged (%v,%v) vs (%v,%v)", i, ac, am, bc, bm)
+		}
+		if au, bu := a.CPUSensor(uc), b.CPUSensor(uc); !same(au, bu) {
+			t.Fatalf("draw %d: CPU sensors diverged (%v vs %v)", i, au, bu)
+		}
+		ao, ad := a.GPUTransition()
+		bo, bd := b.GPUTransition()
+		if ao != bo || ad != bd {
+			t.Fatalf("draw %d: transitions diverged (%v,%d) vs (%v,%d)", i, ao, ad, bo, bd)
+		}
+		if a.Meter() != b.Meter() {
+			t.Fatalf("draw %d: meters diverged", i)
+		}
+		if a.Straggler() != b.Straggler() {
+			t.Fatalf("draw %d: stragglers diverged", i)
+		}
+		oc, _ := other.GPUSensor(uc, um)
+		if !same(oc, ac) {
+			diverged = true
+		}
+	}
+	if a.Counts() != b.Counts() {
+		t.Fatalf("counts diverged: %+v vs %+v", a.Counts(), b.Counts())
+	}
+	if !diverged {
+		t.Fatal("seed 7 and seed 8 produced identical GPU sensor sequences")
+	}
+}
+
+func same(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}
+
+// TestChannelIndependence: enabling one fault class must not shift another
+// class's sequence — each draws from its own salted stream.
+func TestChannelIndependence(t *testing.T) {
+	full := Default(3)
+	only := Plan{Seed: 3, TransitionRejectRate: full.TransitionRejectRate,
+		TransitionDelayRate: full.TransitionDelayRate, TransitionDelayEpochs: full.TransitionDelayEpochs}
+	a, b := New(full), New(only)
+	for i := 0; i < 500; i++ {
+		// a also consumes sensor draws between transitions; b does not.
+		a.GPUSensor(0.5, 0.5)
+		a.CPUSensor(0.5)
+		ao, ad := a.GPUTransition()
+		bo, bd := b.GPUTransition()
+		if ao != bo || ad != bd {
+			t.Fatalf("attempt %d: transition stream shifted by sensor classes: (%v,%d) vs (%v,%d)",
+				i, ao, ad, bo, bd)
+		}
+	}
+}
+
+// TestAblationNoiseCompatibility: the GPU noise channel must reproduce the
+// sensor-noise ablation's historical formula exactly — same seed
+// derivation, same draw order, same clamp — so results/ablations CSVs stay
+// byte-identical after the ablation was rewired through this package.
+func TestAblationNoiseCompatibility(t *testing.T) {
+	const baseSeed = 42
+	for _, sigma := range []float64{0.05, 0.10, 0.20, 0.40} {
+		in := New(Plan{Seed: baseSeed, GPUNoiseSigma: sigma})
+		seed := parallel.TaskSeed(baseSeed^math.Float64bits(sigma), 0)
+		var k uint64
+		for i := 0; i < 200; i++ {
+			uc, um := float64(i%5)/5, float64(i%9)/9
+			gc, gm := in.GPUSensor(uc, um)
+			a := parallel.Uniform(seed, k)
+			b := parallel.Uniform(seed, k+1)
+			k += 2
+			wc := units.Clamp(uc+(a*2-1)*sigma, 0, 1)
+			wm := units.Clamp(um+(b*2-1)*sigma, 0, 1)
+			if gc != wc || gm != wm {
+				t.Fatalf("sigma %v draw %d: got (%v,%v), ablation formula gives (%v,%v)",
+					sigma, i, gc, gm, wc, wm)
+			}
+		}
+	}
+}
+
+// TestFaultRates: over many draws, each class fires roughly at its
+// configured rate (loose 3-sigma-ish bounds; the draws are uniform).
+func TestFaultRates(t *testing.T) {
+	p := Default(11)
+	in := New(p)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		in.GPUSensor(0.5, 0.5)
+		in.CPUSensor(0.5)
+		in.GPUTransition()
+		in.Meter()
+		in.Straggler()
+	}
+	c := in.Counts()
+	check := func(name string, got uint64, rate float64) {
+		t.Helper()
+		want := rate * n
+		slack := 4 * math.Sqrt(want)
+		if math.Abs(float64(got)-want) > slack+5 {
+			t.Errorf("%s fired %d times, want about %.0f (±%.0f)", name, got, want, slack)
+		}
+	}
+	check("GPU drop", c.GPUSensorDropped, p.GPUDropRate)
+	check("CPU drop", c.CPUSensorDropped, p.CPUDropRate)
+	check("transition reject", c.TransRejected, p.TransitionRejectRate)
+	check("transition delay", c.TransDelayed, p.TransitionDelayRate)
+	check("meter drop", c.MeterDropouts, p.MeterDropRate)
+	check("meter spike", c.MeterSpikes, p.MeterSpikeRate)
+	check("straggler", c.Stragglers, p.StragglerRate)
+}
+
+// TestStaleRepeatsLastDelivered: a stale sample repeats the previous
+// delivered pair, not the previous raw input.
+func TestStaleRepeatsLastDelivered(t *testing.T) {
+	in := New(Plan{Seed: 5, GPUStaleRate: 0.5})
+	var lastC, lastM float64
+	have := false
+	for i := 0; i < 500; i++ {
+		uc, um := float64(i%10)/10, float64((i+3)%10)/10
+		gc, gm := in.GPUSensor(uc, um)
+		stale := have && gc == lastC && gm == lastM && (gc != uc || gm != um)
+		fresh := gc == uc && gm == um
+		if !stale && !fresh {
+			t.Fatalf("draw %d: (%v,%v) is neither fresh (%v,%v) nor last delivered (%v,%v)",
+				i, gc, gm, uc, um, lastC, lastM)
+		}
+		lastC, lastM = gc, gm
+		have = true
+	}
+	if in.Counts().GPUSensorStale == 0 {
+		t.Fatal("no stale samples at rate 0.5 over 500 draws")
+	}
+}
+
+// TestDropDeliversNaN: dropped samples are NaN and never update the stale
+// history.
+func TestDropDeliversNaN(t *testing.T) {
+	in := New(Plan{Seed: 9, GPUDropRate: 1})
+	gc, gm := in.GPUSensor(0.3, 0.4)
+	if !math.IsNaN(gc) || !math.IsNaN(gm) {
+		t.Fatalf("dropped sample delivered (%v,%v), want NaN", gc, gm)
+	}
+	if in.haveGPU {
+		t.Fatal("dropped sample updated stale history")
+	}
+	if u := New(Plan{Seed: 9, CPUDropRate: 1}).CPUSensor(0.3); !math.IsNaN(u) {
+		t.Fatalf("dropped CPU sample delivered %v, want NaN", u)
+	}
+}
+
+// TestMeterApply pins the sample transforms.
+func TestMeterApply(t *testing.T) {
+	in := New(Plan{Seed: 1, MeterSpikeRate: 0.5, MeterSpikeFactor: 3})
+	if got := in.ApplyMeter(MeterOK, 120); got != 120 {
+		t.Fatalf("MeterOK transformed sample: %v", got)
+	}
+	if got := in.ApplyMeter(MeterSpiked, 120); got != 360 {
+		t.Fatalf("spike factor 3 on 120 W = %v, want 360", got)
+	}
+	if got := in.ApplyMeter(MeterDropped, 120); !math.IsNaN(got) {
+		t.Fatalf("dropped sample = %v, want NaN", got)
+	}
+}
+
+// TestValidate covers the rejection cases.
+func TestValidate(t *testing.T) {
+	bad := []Plan{
+		{GPUDropRate: -0.1},
+		{GPUDropRate: 1.5},
+		{GPUNoiseSigma: math.NaN()},
+		{TransitionDelayEpochs: -1},
+		{TransitionDelayRate: 0.1}, // delay rate without epochs
+		{MeterSpikeRate: 0.1, MeterSpikeFactor: 0.5},
+		{StragglerRate: 0.1, StragglerFactor: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid plan %+v", i, p)
+		}
+	}
+	good := Default(1)
+	if err := good.Validate(); err != nil {
+		t.Errorf("Default plan rejected: %v", err)
+	}
+	var zero Plan
+	if err := zero.Validate(); err != nil {
+		t.Errorf("zero plan rejected: %v", err)
+	}
+}
+
+// TestCountsArithmetic pins Total and Sub.
+func TestCountsArithmetic(t *testing.T) {
+	a := Counts{GPUSensorNoisy: 5, TransRejected: 2, Stragglers: 1}
+	b := Counts{GPUSensorNoisy: 3, TransRejected: 2}
+	if got := a.Total(); got != 8 {
+		t.Fatalf("Total = %d, want 8", got)
+	}
+	d := a.Sub(b)
+	if d.GPUSensorNoisy != 2 || d.TransRejected != 0 || d.Stragglers != 1 {
+		t.Fatalf("Sub = %+v", d)
+	}
+}
+
+// TestInjectorAllocFree: the hot-path methods must not allocate — they run
+// inside the simulation's DVFS tickers.
+func TestInjectorAllocFree(t *testing.T) {
+	in := New(Default(13))
+	var i int
+	allocs := testing.AllocsPerRun(1000, func() {
+		uc := float64(i%7) / 7
+		in.GPUSensor(uc, uc)
+		in.CPUSensor(uc)
+		in.GPUTransition()
+		in.CPUTransition()
+		in.Meter()
+		in.Straggler()
+		in.Counts()
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("injector hot path allocates %.1f times per epoch, want 0", allocs)
+	}
+}

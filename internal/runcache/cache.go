@@ -31,6 +31,8 @@ var (
 		"Workers that blocked on another worker's in-flight computation of the same point.")
 	metricEntries = telemetry.NewGauge("greengpu_runcache_entries",
 		"Completed entries currently held in memory (last cache to finish an entry wins).")
+	metricCorrupt = telemetry.NewCounter("greengpu_runcache_corrupt_total",
+		"Corrupt, truncated or wrong-schema disk entries quarantined and recomputed.")
 )
 
 // Value is what the cache stores per simulation point: the framework result
@@ -71,14 +73,23 @@ type Stats struct {
 	// worker was already computing and waited for it instead of
 	// duplicating the run.
 	Waits uint64
+	// Corrupt counts disk entries that failed to decode and were
+	// quarantined (renamed to .bad) so the point recomputed cleanly.
+	Corrupt uint64
 	// Entries is the current in-memory entry count.
 	Entries int
 }
 
-// String renders the counters for the cmd/experiments stderr summary.
+// String renders the counters for the cmd/experiments stderr summary. The
+// corruption count only appears when non-zero — it should be alarming, not
+// ambient.
 func (s Stats) String() string {
-	return fmt.Sprintf("run cache: %d hits (%d from disk), %d misses, %d single-flight waits, %d entries",
+	out := fmt.Sprintf("run cache: %d hits (%d from disk), %d misses, %d single-flight waits, %d entries",
 		s.Hits, s.DiskHits, s.Misses, s.Waits, s.Entries)
+	if s.Corrupt > 0 {
+		out += fmt.Sprintf(", %d corrupt entries quarantined", s.Corrupt)
+	}
+	return out
 }
 
 // Options configures a Cache.
@@ -109,6 +120,7 @@ type Cache struct {
 	diskHits atomic.Uint64
 	misses   atomic.Uint64
 	waits    atomic.Uint64
+	corrupt  atomic.Uint64
 }
 
 // entry is one key's slot. done is closed exactly once, when val/err are
@@ -152,6 +164,7 @@ func (c *Cache) Stats() Stats {
 		DiskHits: c.diskHits.Load(),
 		Misses:   c.misses.Load(),
 		Waits:    c.waits.Load(),
+		Corrupt:  c.corrupt.Load(),
 		Entries:  n,
 	}
 }
@@ -268,9 +281,10 @@ func (c *Cache) path(key Key) string {
 	return filepath.Join(c.dir, hex.EncodeToString(key[:])+".gob")
 }
 
-// load reads one entry from the disk layer. Unreadable or undecodable
-// files are treated as misses and removed — a truncated write from a
-// killed process must not poison the key forever.
+// load reads one entry from the disk layer. Undecodable files — truncated
+// writes from a killed process, bit rot, a foreign gob schema — are
+// treated as misses and quarantined so the point recomputes cleanly: the
+// run must survive a corrupt cache, and the evidence must survive the run.
 func (c *Cache) load(key Key) (Value, bool) {
 	if c.dir == "" {
 		return Value{}, false
@@ -282,10 +296,23 @@ func (c *Cache) load(key Key) (Value, bool) {
 	defer f.Close()
 	var v Value
 	if err := gob.NewDecoder(f).Decode(&v); err != nil {
-		os.Remove(c.path(key))
+		c.quarantine(key)
 		return Value{}, false
 	}
 	return v, true
+}
+
+// quarantine moves a corrupt disk entry aside (renamed to <key>.gob.bad,
+// replacing any previous quarantine of the same key) so it is never
+// consulted again but stays available for a postmortem. If the rename
+// fails the file is removed outright — recovery must not depend on it.
+func (c *Cache) quarantine(key Key) {
+	c.corrupt.Add(1)
+	metricCorrupt.Inc()
+	p := c.path(key)
+	if err := os.Rename(p, p+".bad"); err != nil {
+		os.Remove(p)
+	}
 }
 
 // store writes one entry to the disk layer atomically (temp file + rename),

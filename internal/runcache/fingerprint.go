@@ -68,7 +68,7 @@ import (
 // or power model edits, calibration changes, encoding changes, or new
 // fields on any encoded struct. Old disk entries are then simply never
 // looked up again (they live under the previous version's directory).
-const SchemaVersion = 1
+const SchemaVersion = 2
 
 // Key identifies one simulation point: a SHA-256 digest of the canonical
 // encoding. It is comparable and usable as a map key.
@@ -113,7 +113,7 @@ func KeyOf(gpu *gpusim.Config, cpu *cpusim.Config, b *bus.Config, p *workload.Pr
 
 // schemaTag opens every encoding. It names the format and its version so a
 // digest can never be confused with one produced by a different scheme.
-const schemaTag = "greengpu/runcache/v1"
+const schemaTag = "greengpu/runcache/v2"
 
 // Field tags. Every encoded field leads with one; values are never adjacent
 // without a tag between them. The concrete numbers are arbitrary but
@@ -264,5 +264,33 @@ func (e *encoder) coreConfig(c *core.Config) {
 	} else {
 		e.tag(tagPresent)
 		e.float(*c.StaticRatio)
+	}
+	e.int(int64(c.Recovery.WatchdogK))
+	e.int(int64(c.Recovery.BackoffMax))
+	e.int(int64(c.Recovery.FailsafeHold))
+	// The fault plan is pure data, so faulty runs stay cacheable — every
+	// field reaches the hash. A nil plan and the Zero plan behave
+	// identically (no injection) but fingerprint differently; callers who
+	// want the shared fault-free key pass nil.
+	if c.FaultPlan == nil {
+		e.tag(tagAbsent)
+	} else {
+		e.tag(tagPresent)
+		p := c.FaultPlan
+		e.raw(tagInt, p.Seed)
+		e.float(p.GPUNoiseSigma)
+		e.float(p.GPUDropRate)
+		e.float(p.GPUStaleRate)
+		e.float(p.CPUNoiseSigma)
+		e.float(p.CPUDropRate)
+		e.float(p.CPUStaleRate)
+		e.float(p.TransitionRejectRate)
+		e.float(p.TransitionDelayRate)
+		e.int(int64(p.TransitionDelayEpochs))
+		e.float(p.MeterDropRate)
+		e.float(p.MeterSpikeRate)
+		e.float(p.MeterSpikeFactor)
+		e.float(p.StragglerRate)
+		e.float(p.StragglerFactor)
 	}
 }

@@ -16,7 +16,9 @@ import (
 	"greengpu/internal/cpusim"
 	"greengpu/internal/division"
 	"greengpu/internal/dvfs"
+	"greengpu/internal/faultinject"
 	"greengpu/internal/gpusim"
+	"greengpu/internal/telemetry"
 	"greengpu/internal/testbed"
 	"greengpu/internal/units"
 	"greengpu/internal/workload"
@@ -110,6 +112,26 @@ func TestKeySensitivity(t *testing.T) {
 			c.InitialLevels = &core.Levels{Core: 1, Mem: 1, CPU: 1}
 			return KeyOf(&gpu, &cpu, &b, p, &c, "")
 		}},
+		{"fault plan armed", func() Key {
+			c := base()
+			pl := faultinject.Default(1)
+			c.FaultPlan = &pl
+			return KeyOf(&gpu, &cpu, &b, p, &c, "")
+		}},
+		{"fault plan seed", func() Key {
+			c := base()
+			pl := faultinject.Default(2)
+			c.FaultPlan = &pl
+			return KeyOf(&gpu, &cpu, &b, p, &c, "")
+		}},
+		{"fault plan intensity", func() Key {
+			c := base()
+			pl := faultinject.Default(1)
+			pl.TransitionRejectRate = 0.5
+			c.FaultPlan = &pl
+			return KeyOf(&gpu, &cpu, &b, p, &c, "")
+		}},
+		{"recovery watchdog", func() Key { c := base(); c.Recovery.WatchdogK = 5; return KeyOf(&gpu, &cpu, &b, p, &c, "") }},
 		{"static ratio", func() Key {
 			c := core.DefaultConfig(core.FreqScaling)
 			r := 0.2
@@ -345,8 +367,8 @@ func TestResultImmutability(t *testing.T) {
 // grows a field, as a reminder to extend Value.clone — a shallow-copied
 // new slice field would break the immutability contract silently.
 func TestCloneCoversResultFields(t *testing.T) {
-	if n := reflect.TypeOf(core.Result{}).NumField(); n != 12 {
-		t.Errorf("core.Result has %d fields, clone was written for 12 — update Value.clone and this count", n)
+	if n := reflect.TypeOf(core.Result{}).NumField(); n != 14 {
+		t.Errorf("core.Result has %d fields, clone was written for 14 — update Value.clone and this count", n)
 	}
 	if n := reflect.TypeOf(Value{}).NumField(); n != 2 {
 		t.Errorf("Value has %d fields, clone was written for 2 — update Value.clone and this count", n)
@@ -371,8 +393,10 @@ func TestFingerprintCoversConfigFields(t *testing.T) {
 		{"bus.Config", reflect.TypeOf(bus.Config{}), 3},
 		{"workload.Profile", reflect.TypeOf(workload.Profile{}), 9},
 		{"workload.PhaseSpec", reflect.TypeOf(workload.PhaseSpec{}), 5},
-		{"core.Config", reflect.TypeOf(core.Config{}), 18},
+		{"core.Config", reflect.TypeOf(core.Config{}), 20},
 		{"core.Levels", reflect.TypeOf(core.Levels{}), 3},
+		{"core.RecoveryConfig", reflect.TypeOf(core.RecoveryConfig{}), 3},
+		{"faultinject.Plan", reflect.TypeOf(faultinject.Plan{}), 15},
 		{"division.Config", reflect.TypeOf(division.Config{}), 5},
 		{"dvfs.Params", reflect.TypeOf(dvfs.Params{}), 4},
 	}
@@ -480,6 +504,13 @@ func TestDiskLayerCorruptEntry(t *testing.T) {
 	if !ran || v.Result == nil {
 		t.Fatal("corrupt entry served instead of recomputed")
 	}
+	// The corrupt bytes must be quarantined, not destroyed, and counted.
+	if _, err := os.Stat(c.path(key) + ".bad"); err != nil {
+		t.Errorf("corrupt entry not quarantined: %v", err)
+	}
+	if got := c.Stats().Corrupt; got != 1 {
+		t.Errorf("Stats.Corrupt = %d, want 1", got)
+	}
 	// The recomputed value must have replaced the corrupt file.
 	c2, err := New(Options{Dir: dir})
 	if err != nil {
@@ -494,6 +525,75 @@ func TestDiskLayerCorruptEntry(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got, sampleValue()) {
 		t.Fatal("repaired entry does not round-trip")
+	}
+}
+
+// TestDiskLayerTruncatedEntry simulates the real failure: a process was
+// killed mid-history and left a half-written (here: half of a previously
+// valid) entry. A fresh cache must recover transparently — the run
+// succeeds, the stump is quarantined to .bad, and the corruption counter
+// (per-instance Stats and the process-wide telemetry metric) increments.
+func TestDiskLayerTruncatedEntry(t *testing.T) {
+	const metric = "greengpu_runcache_corrupt_total"
+	telemetry.Enable()
+	t.Cleanup(telemetry.Disable)
+	before := telemetry.Default.CounterValue(metric)
+
+	dir := t.TempDir()
+	c1, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var key Key
+	key[5] = 7
+	if _, err := c1.Do(key, func() (Value, error) { return sampleValue(), nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate the valid on-disk entry to half its length.
+	path := c1.path(key)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, blob[:len(blob)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	got, err := c2.Do(key, func() (Value, error) { ran = true; return sampleValue(), nil })
+	if err != nil {
+		t.Fatalf("run failed on a truncated cache entry: %v", err)
+	}
+	if !ran {
+		t.Fatal("truncated entry was served instead of recomputed")
+	}
+	if !reflect.DeepEqual(got, sampleValue()) {
+		t.Fatal("recovered value is wrong")
+	}
+	if _, err := os.Stat(path + ".bad"); err != nil {
+		t.Errorf("truncated entry not quarantined: %v", err)
+	}
+	if s := c2.Stats(); s.Corrupt != 1 {
+		t.Errorf("Stats.Corrupt = %d, want 1", s.Corrupt)
+	}
+	if after := telemetry.Default.CounterValue(metric); after != before+1 {
+		t.Errorf("%s went %d → %d, want +1", metric, before, after)
+	}
+	// The repaired entry must serve cleanly from disk again.
+	c3, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c3.Do(key, func() (Value, error) {
+		t.Fatal("repaired entry recomputed")
+		return Value{}, nil
+	}); err != nil {
+		t.Fatal(err)
 	}
 }
 

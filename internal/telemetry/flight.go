@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,6 +54,77 @@ type EpochRecord struct {
 	// at record time, stamped by Record.
 	CacheHits   uint64 `json:"cache_hits"`
 	CacheMisses uint64 `json:"cache_misses"`
+	// Faults is the run's cumulative injected-fault count at epoch end
+	// (0 when no fault plan is armed — see internal/faultinject).
+	Faults uint64 `json:"faults,omitempty"`
+	// Held marks an epoch whose utilization sample was replaced by the
+	// guard's hold-last-good.
+	Held bool `json:"held,omitempty"`
+	// Failsafe marks an epoch spent pinned at the watchdog's failsafe
+	// (peak) levels after consecutive transition failures.
+	Failsafe bool `json:"failsafe,omitempty"`
+}
+
+// jsonFloat marshals non-finite values as null — JSON has no NaN/Inf, and a
+// power sample dropped by a meter fault must not make the whole snapshot
+// unencodable.
+type jsonFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+// MarshalJSON implements json.Marshaler. Float fields that can carry a
+// faulted (non-finite) sample encode as null rather than failing the
+// marshal.
+func (e EpochRecord) MarshalJSON() ([]byte, error) {
+	type rec struct {
+		Seq         uint64        `json:"seq"`
+		Workload    string        `json:"workload"`
+		Mode        string        `json:"mode"`
+		Epoch       int           `json:"epoch"`
+		At          time.Duration `json:"at_ns"`
+		UCore       jsonFloat     `json:"u_core"`
+		UMem        jsonFloat     `json:"u_mem"`
+		CoreLevel   int           `json:"core_level"`
+		MemLevel    int           `json:"mem_level"`
+		CoreMHz     jsonFloat     `json:"core_mhz"`
+		MemMHz      jsonFloat     `json:"mem_mhz"`
+		CPULevel    int           `json:"cpu_level"`
+		Ratio       jsonFloat     `json:"ratio"`
+		PowerW      jsonFloat     `json:"power_w"`
+		CacheHits   uint64        `json:"cache_hits"`
+		CacheMisses uint64        `json:"cache_misses"`
+		Faults      uint64        `json:"faults,omitempty"`
+		Held        bool          `json:"held,omitempty"`
+		Failsafe    bool          `json:"failsafe,omitempty"`
+	}
+	return json.Marshal(rec{
+		Seq:         e.Seq,
+		Workload:    e.Workload,
+		Mode:        e.Mode,
+		Epoch:       e.Epoch,
+		At:          e.At,
+		UCore:       jsonFloat(e.UCore),
+		UMem:        jsonFloat(e.UMem),
+		CoreLevel:   e.CoreLevel,
+		MemLevel:    e.MemLevel,
+		CoreMHz:     jsonFloat(e.CoreMHz),
+		MemMHz:      jsonFloat(e.MemMHz),
+		CPULevel:    e.CPULevel,
+		Ratio:       jsonFloat(e.Ratio),
+		PowerW:      jsonFloat(e.PowerW),
+		CacheHits:   e.CacheHits,
+		CacheMisses: e.CacheMisses,
+		Faults:      e.Faults,
+		Held:        e.Held,
+		Failsafe:    e.Failsafe,
+	})
 }
 
 // FlightRecorder retains the last K epoch records in a preallocated ring
@@ -132,8 +204,18 @@ func (r *FlightRecorder) Table(lastK int) *trace.Table {
 	t := trace.NewTable(
 		fmt.Sprintf("flight recorder: last %d DVFS epochs (oldest first)", len(recs)),
 		"seq", "workload", "mode", "epoch", "t(s)", "u_core", "u_mem",
-		"core", "MHz", "mem", "MHz", "cpu", "r", "power(W)", "hits", "misses")
+		"core", "MHz", "mem", "MHz", "cpu", "r", "power(W)", "hits", "misses",
+		"faults", "flags")
 	for _, e := range recs {
+		flags := "-"
+		switch {
+		case e.Held && e.Failsafe:
+			flags = "HF"
+		case e.Held:
+			flags = "H"
+		case e.Failsafe:
+			flags = "F"
+		}
 		t.AddRow(
 			fmt.Sprintf("%d", e.Seq),
 			e.Workload,
@@ -151,6 +233,8 @@ func (r *FlightRecorder) Table(lastK int) *trace.Table {
 			fmt.Sprintf("%.1f", e.PowerW),
 			fmt.Sprintf("%d", e.CacheHits),
 			fmt.Sprintf("%d", e.CacheMisses),
+			fmt.Sprintf("%d", e.Faults),
+			flags,
 		)
 	}
 	return t

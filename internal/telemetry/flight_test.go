@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -111,6 +112,54 @@ func TestFlightRecorderWriteJSON(t *testing.T) {
 	}
 	if len(recs) != 1 || recs[0].Workload != "lud" || recs[0].Epoch != 7 || recs[0].UCore != 0.25 {
 		t.Errorf("round-tripped records = %+v", recs)
+	}
+}
+
+// TestWriteJSONSurvivesNonFiniteSamples: a power sample dropped by a meter
+// fault reads NaN; the JSON emitter must encode it as null rather than fail
+// the whole snapshot. Finite records must round-trip every field — which
+// also keeps the marshal shadow struct in sync with EpochRecord.
+func TestWriteJSONSurvivesNonFiniteSamples(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	full := EpochRecord{
+		Workload: "kmeans", Mode: "greengpu", Epoch: 3,
+		At:    9 * time.Second,
+		UCore: 0.9, UMem: 0.5, CoreLevel: 2, MemLevel: 1,
+		CoreMHz: 576, MemMHz: 900, CPULevel: 4, Ratio: 0.12, PowerW: 231.5,
+		Faults: 17, Held: true, Failsafe: true,
+	}
+	fr.Record(full)
+	fr.Record(EpochRecord{Workload: "kmeans", PowerW: math.NaN(), UCore: math.Inf(1)})
+	var b strings.Builder
+	if err := fr.WriteJSON(&b); err != nil {
+		t.Fatalf("WriteJSON with NaN/Inf samples: %v", err)
+	}
+	var recs []map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &recs); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if v, ok := recs[1]["power_w"]; !ok || v != nil {
+		t.Errorf("NaN power_w encoded as %v, want null", v)
+	}
+	if v, ok := recs[1]["u_core"]; !ok || v != nil {
+		t.Errorf("+Inf u_core encoded as %v, want null", v)
+	}
+
+	// Round-trip the finite record through the typed struct: any field the
+	// shadow struct forgets comes back as its zero value and fails here.
+	var typed []EpochRecord
+	if err := json.Unmarshal([]byte(b.String()), &typed); err != nil {
+		t.Fatalf("typed unmarshal: %v", err)
+	}
+	got := typed[0]
+	got.Seq = full.Seq
+	got.CacheHits = full.CacheHits
+	got.CacheMisses = full.CacheMisses
+	if got != full {
+		t.Errorf("finite record did not round-trip:\n got %+v\nwant %+v", got, full)
 	}
 }
 
