@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: fmt fmtcheck vet build test race bench bench-stable bench-json bench-gate bench-experiments golden determinism chaos lint-docs linkcheck check
+.PHONY: fmt fmtcheck vet build test race bench bench-stable bench-json bench-gate bench-sweep-json bench-sweep-gate bench-experiments golden determinism chaos lint-docs linkcheck check
 
 fmt:
 	gofmt -w .
@@ -58,6 +58,23 @@ bench-json:
 bench-gate:
 	$(GO) test -run='^$$' -bench=. -benchmem -count=5 -benchtime=50000x \
 		./internal/sim ./internal/dvfs | $(GO) run ./cmd/benchjson -compare BENCH_sim.json -tolerance 0.25
+
+# bench-sweep-json snapshots the massive-sweep engine benchmarks — the
+# batched ladder² evaluation and its per-point naive baseline — as
+# BENCH_sweep.json. The committed copy is the throughput contract: its
+# points/s for BenchmarkSweepBatched must be at least 10x
+# BenchmarkSweepNaive's (see docs/PERF.md "Sweeps").
+bench-sweep-json:
+	$(GO) test -run='^$$' -bench=BenchmarkSweep -benchmem -count=5 -benchtime=2000x \
+		./internal/sweep | $(GO) run ./cmd/benchjson > BENCH_sweep.json
+
+# bench-sweep-gate is the sweep regression gate CI enforces: a fresh run
+# must stay within ±25% ns/op of the committed BENCH_sweep.json and must
+# never increase allocs/op. Custom metrics (points/s) drift prints as a
+# note. Refresh with `make bench-sweep-json` on intentional changes.
+bench-sweep-gate:
+	$(GO) test -run='^$$' -bench=BenchmarkSweep -benchmem -count=5 -benchtime=2000x \
+		./internal/sweep | $(GO) run ./cmd/benchjson -compare BENCH_sweep.json -tolerance 0.25
 
 # bench-experiments times the full experiment suite without a cache, with a
 # cold cache, and against the warm cache, recording the wall-clock numbers
@@ -123,4 +140,4 @@ lint-docs:
 linkcheck:
 	$(GO) run ./cmd/linkcheck README.md DESIGN.md ROADMAP.md CHANGES.md docs
 
-check: fmtcheck vet build race bench determinism chaos bench-gate lint-docs linkcheck
+check: fmtcheck vet build race bench determinism chaos bench-gate bench-sweep-gate lint-docs linkcheck

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -169,6 +170,26 @@ func compare(base, cur *Report, tolerance float64, w io.Writer) int {
 			case *got.AllocsInfo > *b.AllocsInfo:
 				fail("%s %s: %.0f allocs/op vs baseline %.0f — allocation increases are hard failures",
 					b.Pkg, b.Name, *got.AllocsInfo, *b.AllocsInfo)
+			}
+		}
+		// Custom metrics (b.ReportMetric output, e.g. points/s) carry no
+		// universal better-direction, so drift beyond the tolerance is
+		// reported as a note, never a failure — the gate stays ns/op and
+		// allocs/op. Units are visited in sorted order for stable output.
+		units := make([]string, 0, len(b.Metrics))
+		for unit := range b.Metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			bv := b.Metrics[unit]
+			gv, ok := got.Metrics[unit]
+			if !ok || bv == 0 {
+				continue
+			}
+			if r := gv / bv; r > 1+tolerance || r < 1-tolerance {
+				fmt.Fprintf(w, "note  %s %s: %.6g %s vs baseline %.6g (%+.0f%%)\n",
+					b.Pkg, b.Name, gv, unit, bv, (r-1)*100)
 			}
 		}
 	}

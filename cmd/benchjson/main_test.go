@@ -207,3 +207,20 @@ func TestParseBenchLineKeepsSubBenchName(t *testing.T) {
 		t.Errorf("name=%q procs=%d", res.Name, res.Procs)
 	}
 }
+
+func TestCompareCustomMetricDriftIsNote(t *testing.T) {
+	base := "pkg: p\nBenchmarkA-8 100 100.0 ns/op 500000 points/s\n"
+	cur := "pkg: p\nBenchmarkA-8 100 100.0 ns/op 200000 points/s\n"
+	n, out := gate(t, base, cur, 0.25)
+	if n != 0 {
+		t.Fatalf("custom metric drift failed the gate (%d failures):\n%s", n, out)
+	}
+	if !strings.Contains(out, "points/s") || !strings.Contains(out, "note") {
+		t.Errorf("no drift note for the custom metric:\n%s", out)
+	}
+	// Drift within tolerance stays silent.
+	quiet := "pkg: p\nBenchmarkA-8 100 100.0 ns/op 490000 points/s\n"
+	if _, out := gate(t, base, quiet, 0.25); strings.Contains(out, "points/s") {
+		t.Errorf("in-tolerance metric noted:\n%s", out)
+	}
+}

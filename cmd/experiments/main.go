@@ -10,7 +10,17 @@
 //	experiments -jobs 1             # force sequential execution
 //
 // Experiment ids: fig1, fig2, fig5, fig6, fig7, fig8, table2, sweep,
-// ablations, extensions, resilience, all.
+// sweetspot, ablations, extensions, resilience, all.
+//
+// Ad-hoc batch sweeps bypass the predefined studies: -sweep takes a
+// key=value spec (see internal/sweep.ParseSpec) and evaluates the whole
+// batch through the massive-sweep engine — shared level tables, the
+// closed-form fast path for baseline ladder points, and the run cache —
+// emitting one sweep_points table. Output is byte-identical to evaluating
+// each point alone, at any -jobs value:
+//
+//	experiments -sweep 'workloads=kmeans core=all mem=all iters=4'
+//	experiments -sweep 'draws=100 seed=2012 mode=holistic' -out results
 //
 // Every experiment point runs on a fresh simulated machine with
 // deterministic seeding, so the output is byte-identical for every -jobs
@@ -27,6 +37,9 @@
 //	experiments -no-cache           # disable memoization entirely
 //	experiments -cache-dir .cache   # persist points across runs (gob files
 //	                                # under a schema-versioned subdirectory)
+//	experiments -cache-dir .cache -cache-max-bytes 67108864
+//	                                # bound the disk layer at 64 MiB,
+//	                                # evicting oldest entries first
 //	experiments -bench-cache BENCH_experiments.json
 //	                                # time the suite no-cache/cold/warm and
 //	                                # write the measurements as JSON
@@ -76,6 +89,7 @@ import (
 	"greengpu/internal/experiments"
 	"greengpu/internal/faultinject"
 	"greengpu/internal/runcache"
+	"greengpu/internal/sweep"
 	"greengpu/internal/telemetry"
 	"greengpu/internal/trace"
 )
@@ -84,25 +98,28 @@ import (
 // by registerFlags lets tests parse argument lists without touching the
 // process-global flag.CommandLine.
 type options struct {
-	run         string
-	out         string
-	markdown    bool
-	jobs        int
-	cpuprofile  string
-	memprofile  string
-	noCache     bool
-	cacheDir    string
-	benchCache  string
-	faults      string
-	metrics     string
-	metricsJSON string
-	flightRec   int
-	flightOut   string
+	run           string
+	sweep         string
+	out           string
+	markdown      bool
+	jobs          int
+	cpuprofile    string
+	memprofile    string
+	noCache       bool
+	cacheDir      string
+	cacheMaxBytes int64
+	benchCache    string
+	faults        string
+	metrics       string
+	metricsJSON   string
+	flightRec     int
+	flightOut     string
 }
 
 func registerFlags(fs *flag.FlagSet) *options {
 	o := &options{}
-	fs.StringVar(&o.run, "run", "all", "comma-separated experiment ids (fig1 fig2 fig5 fig6 fig7 fig8 table2 sweep ablations extensions resilience all)")
+	fs.StringVar(&o.run, "run", "all", "comma-separated experiment ids (fig1 fig2 fig5 fig6 fig7 fig8 table2 sweep sweetspot ablations extensions resilience all)")
+	fs.StringVar(&o.sweep, "sweep", "", "run an ad-hoc batch sweep instead of -run: whitespace-separated key=value spec (see internal/sweep.ParseSpec), e.g. 'workloads=kmeans core=all mem=all iters=4'")
 	fs.StringVar(&o.out, "out", "", "directory for CSV output (empty = none)")
 	fs.BoolVar(&o.markdown, "markdown", false, "render tables as GitHub markdown instead of aligned text")
 	fs.IntVar(&o.jobs, "jobs", 0, "concurrent experiment points (0 = one per CPU, 1 = sequential)")
@@ -110,6 +127,7 @@ func registerFlags(fs *flag.FlagSet) *options {
 	fs.StringVar(&o.memprofile, "memprofile", "", "write a heap profile to this file at exit")
 	fs.BoolVar(&o.noCache, "no-cache", false, "disable the run cache (memoization of repeated simulation points)")
 	fs.StringVar(&o.cacheDir, "cache-dir", "", "persist cached simulation points under this directory (empty = in-memory only)")
+	fs.Int64Var(&o.cacheMaxBytes, "cache-max-bytes", 0, "cap the -cache-dir gob layer at this many bytes, evicting oldest entries first (0 = unbounded)")
 	fs.StringVar(&o.benchCache, "bench-cache", "", "instead of printing tables, time the suite no-cache/cold/warm and write the JSON measurements to this file")
 	fs.StringVar(&o.faults, "faults", "off", "chaos mode: inject the default fault plan into every run that doesn't sweep its own (off, default)")
 	fs.StringVar(&o.metrics, "metrics", "", "enable telemetry and write a Prometheus text-format snapshot to this file at exit (- = stderr)")
@@ -165,7 +183,7 @@ func run(o *options, stdout, stderr io.Writer) (err error) {
 		return err
 	}
 	if !o.noCache {
-		cache, err := runcache.New(runcache.Options{Dir: o.cacheDir})
+		cache, err := runcache.New(runcache.Options{Dir: o.cacheDir, MaxDiskBytes: o.cacheMaxBytes})
 		if err != nil {
 			return err
 		}
@@ -176,6 +194,16 @@ func run(o *options, stdout, stderr io.Writer) (err error) {
 		if err := os.MkdirAll(o.out, 0o755); err != nil {
 			return err
 		}
+	}
+
+	if o.sweep != "" {
+		if err := runSweep(o.sweep, env, r); err != nil {
+			return err
+		}
+		if env.Cache != nil {
+			fmt.Fprintln(stderr, env.Cache.Stats())
+		}
+		return nil
 	}
 
 	ids := strings.Split(o.run, ",")
@@ -251,6 +279,31 @@ func setupTelemetry(o *options, stderr io.Writer) (finish func(runErr error) err
 		}
 		return first
 	}, nil
+}
+
+// runSweep parses the -sweep spec and evaluates it through the batch
+// engine, emitting one "sweep_points" table. The engine shares the
+// environment's worker pool, run cache and chaos plan, so ad-hoc sweeps
+// behave exactly like the predefined studies.
+func runSweep(specText string, env *experiments.Env, r *runner) error {
+	spec, err := sweep.ParseSpec(specText)
+	if err != nil {
+		return err
+	}
+	eng := &sweep.Engine{
+		GPU:       env.GPUConfig,
+		CPU:       env.CPUConfig,
+		Bus:       env.BusConfig,
+		Profiles:  env.Profiles,
+		Jobs:      env.Jobs,
+		Cache:     env.Cache,
+		FaultPlan: env.FaultPlan,
+	}
+	results, err := eng.Run(spec)
+	if err != nil {
+		return err
+	}
+	return r.emit("sweep_points", sweep.Table(eng, results))
 }
 
 // chaosSeed seeds the -faults default ambient plan. Fixed, so chaos runs
@@ -349,7 +402,7 @@ func benchCacheSuite(o *options, stderr io.Writer) error {
 	}
 	record("no-cache", d, runcache.Stats{})
 
-	cache, err := runcache.New(runcache.Options{Dir: o.cacheDir})
+	cache, err := runcache.New(runcache.Options{Dir: o.cacheDir, MaxDiskBytes: o.cacheMaxBytes})
 	if err != nil {
 		return err
 	}
@@ -432,7 +485,7 @@ func startProfiles(cpu, mem string) (stop func() error, err error) {
 
 // allIDs is the "all" suite, in the order the paper presents it; the
 // post-paper studies (ablations, extensions, resilience) follow.
-var allIDs = []string{"table2", "fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "sweep", "ablations", "extensions", "resilience"}
+var allIDs = []string{"table2", "fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "sweep", "sweetspot", "ablations", "extensions", "resilience"}
 
 // handlers routes experiment ids to their runners. Keeping the dispatch
 // table explicit (rather than a switch) lets tests verify the id set
@@ -505,6 +558,15 @@ var handlers = map[string]func(*runner) error{
 			return err
 		}
 		return r.emit("sweep", res.Table())
+	},
+	"sweetspot": func(r *runner) error {
+		rows, err := r.env.SweetSpot()
+		if err != nil {
+			return err
+		}
+		// Emitted as sweep_sweetspot.csv: the file names the study family,
+		// the id stays short for -run.
+		return r.emit("sweep_sweetspot", experiments.SweetSpotTable(rows))
 	},
 	"ablations": func(r *runner) error {
 		tables, err := r.env.AblationTables("kmeans")

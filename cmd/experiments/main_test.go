@@ -41,6 +41,7 @@ func TestRegisterFlagsRoundTrip(t *testing.T) {
 	o := registerFlags(fs)
 	args := []string{
 		"-run", "fig1,fig2",
+		"-sweep", "workloads=kmeans",
 		"-out", "res",
 		"-markdown",
 		"-jobs", "3",
@@ -48,6 +49,7 @@ func TestRegisterFlagsRoundTrip(t *testing.T) {
 		"-memprofile", "mem.out",
 		"-no-cache",
 		"-cache-dir", ".cache",
+		"-cache-max-bytes", "1048576",
 		"-bench-cache", "bench.json",
 		"-faults", "default",
 		"-metrics", "m.prom",
@@ -58,9 +60,9 @@ func TestRegisterFlagsRoundTrip(t *testing.T) {
 	if err := fs.Parse(args); err != nil {
 		t.Fatalf("Parse: %v", err)
 	}
-	want := options{run: "fig1,fig2", out: "res", markdown: true, jobs: 3,
+	want := options{run: "fig1,fig2", sweep: "workloads=kmeans", out: "res", markdown: true, jobs: 3,
 		cpuprofile: "cpu.out", memprofile: "mem.out",
-		noCache: true, cacheDir: ".cache", benchCache: "bench.json",
+		noCache: true, cacheDir: ".cache", cacheMaxBytes: 1048576, benchCache: "bench.json",
 		faults: "default", metrics: "m.prom", metricsJSON: "m.json",
 		flightRec: 64, flightOut: "flight.json"}
 	if *o != want {
@@ -79,7 +81,7 @@ func TestRegisterFlagsDefaults(t *testing.T) {
 		t.Errorf("default options = %+v, want %+v", *o, want)
 	}
 	// Every option field must be reachable from the command line.
-	for _, name := range []string{"run", "out", "markdown", "jobs", "cpuprofile", "memprofile", "no-cache", "cache-dir", "bench-cache", "faults", "metrics", "metrics-json", "flight-recorder", "flight-recorder-out"} {
+	for _, name := range []string{"run", "sweep", "out", "markdown", "jobs", "cpuprofile", "memprofile", "no-cache", "cache-dir", "cache-max-bytes", "bench-cache", "faults", "metrics", "metrics-json", "flight-recorder", "flight-recorder-out"} {
 		if fs.Lookup(name) == nil {
 			t.Errorf("flag -%s not registered", name)
 		}
@@ -423,5 +425,42 @@ func TestEmitMarkdown(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "|") {
 		t.Error("markdown rendering produced no table pipes")
+	}
+}
+
+// sweepOutput runs an ad-hoc -sweep through the real run() entrypoint.
+func sweepOutput(t *testing.T, spec string, jobs int, noCache bool) string {
+	t.Helper()
+	var stdout bytes.Buffer
+	o := &options{run: "all", sweep: spec, jobs: jobs, noCache: noCache, faults: "off"}
+	if err := run(o, &stdout, io.Discard); err != nil {
+		t.Fatalf("run(-sweep %q jobs=%d): %v", spec, jobs, err)
+	}
+	return stdout.String()
+}
+
+// TestSweepFlagDeterminism pins the -sweep contract end-to-end: the paper's
+// full 6×6 kmeans ladder renders byte-identically at -jobs 1 vs -jobs 8 and
+// with the cache on vs off.
+func TestSweepFlagDeterminism(t *testing.T) {
+	const spec = "workloads=kmeans core=all mem=all iters=4"
+	base := sweepOutput(t, spec, 1, true)
+	if !strings.Contains(base, "kmeans") {
+		t.Fatal("sweep output missing workload rows")
+	}
+	for _, c := range []struct {
+		jobs    int
+		noCache bool
+	}{{8, true}, {1, false}, {8, false}} {
+		if got := sweepOutput(t, spec, c.jobs, c.noCache); got != base {
+			t.Errorf("-sweep output diverges at jobs=%d noCache=%v", c.jobs, c.noCache)
+		}
+	}
+}
+
+func TestSweepFlagBadSpec(t *testing.T) {
+	o := &options{run: "all", sweep: "core=bogus", faults: "off", noCache: true}
+	if err := run(o, io.Discard, io.Discard); err == nil {
+		t.Error("bad -sweep spec accepted")
 	}
 }

@@ -187,22 +187,9 @@ func New(e *sim.Engine, cfg Config) *CPU {
 		c.accrue()
 		c.finishJob()
 	}
-	top := cfg.PStates[len(cfg.PStates)-1]
-	c.stride = cfg.Cores + 1
-	c.basePower = make([]units.Power, len(cfg.PStates))
-	c.dynPower = make([]units.Power, len(cfg.PStates)*c.stride)
-	c.jobDenom = make([]float64, len(cfg.PStates)*c.stride)
-	for l, ps := range cfg.PStates {
-		vr := float64(ps.Voltage) / float64(top.Voltage)
-		fr := float64(ps.Frequency) / float64(top.Frequency)
-		c.basePower[l] = cfg.Power.Platform + units.Power(float64(cfg.Cores)*vr)*cfg.Power.StaticPerCore
-		for n := 0; n <= cfg.Cores; n++ {
-			c.dynPower[l*c.stride+n] = units.Power(float64(n)*fr*vr*vr) * cfg.Power.DynPerCore
-			if n > 0 {
-				c.jobDenom[l*c.stride+n] = float64(n) * cfg.IPC * float64(ps.Frequency)
-			}
-		}
-	}
+	var t Tables
+	fillTables(&cfg, &t)
+	c.basePower, c.dynPower, c.jobDenom, c.stride = t.BasePower, t.DynPower, t.JobDenom, t.Stride
 	return c
 }
 

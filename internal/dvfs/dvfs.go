@@ -123,6 +123,31 @@ type Decision struct {
 	MemLevel  int
 }
 
+// PreferredPair returns the (core, mem) level pair minimizing Eq. 3's
+// blended loss for one static utilization sample — the open-loop answer the
+// WMA scaler converges to when the sample repeats. Ties keep the lowest
+// level of each domain. Utilizations are sanitized like live sensor
+// samples: non-finite values read as 0, everything clamps to [0,1].
+func PreferredPair(coreLevels, memLevels []units.Frequency, p Params, uCore, uMem float64) Decision {
+	uCore, uMem = sanitizeUtil(uCore), sanitizeUtil(uMem)
+	// Eq. 3 is separable: Phi and (1-Phi) are non-negative constant
+	// weights, so the pair argmin is each domain's argmin.
+	argmin := func(levels []units.Frequency, u, alpha float64) int {
+		umeans := UMeans(levels)
+		best, bestLoss := 0, math.Inf(1)
+		for i, um := range umeans {
+			if l := Loss(u, um, alpha); l < bestLoss {
+				best, bestLoss = i, l
+			}
+		}
+		return best
+	}
+	return Decision{
+		CoreLevel: argmin(coreLevels, uCore, p.AlphaCore),
+		MemLevel:  argmin(memLevels, uMem, p.AlphaMem),
+	}
+}
+
 // weightTable abstracts the WMA storage so the scaler can run on either
 // the float table or the §VI-style 8-bit fixed-point table.
 type weightTable interface {

@@ -376,3 +376,52 @@ func TestSMPolicyBounds(t *testing.T) {
 		t.Errorf("NaN utilization moved the count to %d", got)
 	}
 }
+
+// TestPreferredPair pins the open-loop argmin against the levels the WMA
+// scaler converges to for the same repeated sample.
+func TestPreferredPair(t *testing.T) {
+	cores, mems := mhz(coreLadder()), mhz(memLadder())
+	p := DefaultParams()
+	for _, tc := range []struct {
+		uCore, uMem float64
+		want        Decision
+	}{
+		{1.0, 1.0, Decision{CoreLevel: 5, MemLevel: 5}},
+		{0.0, 0.0, Decision{CoreLevel: 0, MemLevel: 0}},
+		{0.6, 0.4, Decision{CoreLevel: 3, MemLevel: 2}},
+		{math.NaN(), math.Inf(1), Decision{CoreLevel: 0, MemLevel: 0}},
+		{-3, 7, Decision{CoreLevel: 0, MemLevel: 5}},
+	} {
+		if got := PreferredPair(cores, mems, p, tc.uCore, tc.uMem); got != tc.want {
+			t.Errorf("PreferredPair(u=%v,%v) = %+v, want %+v", tc.uCore, tc.uMem, got, tc.want)
+		}
+	}
+}
+
+// TestPreferredPairMatchesScaler cross-checks the closed form against the
+// scaler's converged decision across the utilization grid.
+func TestPreferredPairMatchesScaler(t *testing.T) {
+	cores, mems := mhz(coreLadder()), mhz(memLadder())
+	p := DefaultParams()
+	for uc := 0.0; uc <= 1.0; uc += 0.25 {
+		for um := 0.0; um <= 1.0; um += 0.25 {
+			s := NewScaler(cores, mems, p)
+			var d Decision
+			for i := 0; i < 200; i++ {
+				d = s.Step(uc, um)
+			}
+			if want := PreferredPair(cores, mems, p, uc, um); d != want {
+				t.Errorf("u=(%v,%v): scaler converged to %+v, PreferredPair says %+v", uc, um, d, want)
+			}
+		}
+	}
+}
+
+// TestPreferredPairSingleLevel covers degenerate one-level ladders.
+func TestPreferredPairSingleLevel(t *testing.T) {
+	one := []units.Frequency{500 * units.Megahertz}
+	got := PreferredPair(one, one, DefaultParams(), 0.5, 0.5)
+	if got.CoreLevel != 0 || got.MemLevel != 0 {
+		t.Errorf("single-level ladders gave %+v", got)
+	}
+}

@@ -265,15 +265,8 @@ func New(e *sim.Engine, cfg Config) *GPU {
 	g.coreFRatio, buf = buf[:nc:nc], buf[nc:]
 	g.memDenom, buf = buf[:nm:nm], buf[nm:]
 	g.memFRatio = buf[:nm:nm]
-	corePeak := float64(cfg.CoreLevels[len(cfg.CoreLevels)-1])
-	for i, f := range cfg.CoreLevels {
-		g.coreFRatio[i] = float64(f) / corePeak
-	}
-	memPeak := float64(cfg.MemLevels[len(cfg.MemLevels)-1])
-	for i, f := range cfg.MemLevels {
-		g.memDenom[i] = cfg.BytesPerMemCycle * float64(f)
-		g.memFRatio[i] = float64(f) / memPeak
-	}
+	fillCoreFRatio(&cfg, g.coreFRatio)
+	fillMemTables(&cfg, g.memDenom, g.memFRatio)
 	g.rebuildCoreTables()
 	return g
 }
@@ -281,13 +274,7 @@ func New(e *sim.Engine, cfg Config) *GPU {
 // rebuildCoreTables refreshes the derived constants that depend on the
 // active-SM count. Called at construction and from SetActiveSMs.
 func (g *GPU) rebuildCoreTables() {
-	sps := float64(g.activeSMs * g.cfg.SPsPerSM)
-	for i, f := range g.cfg.CoreLevels {
-		g.coreDenom[i] = sps * g.cfg.IPC * float64(f)
-	}
-	actFrac := float64(g.activeSMs) / float64(g.cfg.SMs)
-	p := g.cfg.Power
-	g.coreScale = (1 - p.CoreGatable) + p.CoreGatable*actFrac
+	g.coreScale = fillCoreTables(&g.cfg, g.activeSMs, g.coreDenom)
 }
 
 // Config returns the device configuration.
@@ -419,14 +406,14 @@ func (g *GPU) Utilization() (core, mem float64) {
 // invert the timing model.
 func (g *GPU) PhaseTime(ops, bytes, stall float64, core, mem int) time.Duration {
 	tc, tm := g.demandTimes(ops, bytes, core, mem)
-	return unifyPhaseTime(tc, tm, stall, g.cfg.OverlapGamma)
+	return UnifyPhaseTime(tc, tm, stall, g.cfg.OverlapGamma)
 }
 
 // PhaseUtilization returns the (u_core, u_mem) a phase would exhibit at the
 // given frequency levels.
 func (g *GPU) PhaseUtilization(ops, bytes, stall float64, core, mem int) (float64, float64) {
 	tc, tm := g.demandTimes(ops, bytes, core, mem)
-	t := unifyPhaseTime(tc, tm, stall, g.cfg.OverlapGamma)
+	t := UnifyPhaseTime(tc, tm, stall, g.cfg.OverlapGamma)
 	if t <= 0 {
 		return 0, 0
 	}
@@ -434,33 +421,11 @@ func (g *GPU) PhaseUtilization(ops, bytes, stall float64, core, mem int) (float6
 }
 
 func (g *GPU) demandTimes(ops, bytes float64, core, mem int) (tc, tm time.Duration) {
-	if ops > 0 {
-		tc = units.Seconds(ops / g.coreDenom[core])
-	}
-	if bytes > 0 {
-		tm = units.Seconds(bytes / g.memDenom[mem])
-	}
-	return tc, tm
-}
-
-func unifyPhaseTime(tc, tm time.Duration, stall, gamma float64) time.Duration {
-	lo, hi := tc, tm
-	if lo > hi {
-		lo, hi = hi, lo
-	}
-	if ts := units.Seconds(stall); ts > hi {
-		hi = ts
-	}
-	return hi + time.Duration(gamma*float64(lo))
+	return demandTimesAt(ops, bytes, g.coreDenom[core], g.memDenom[mem])
 }
 
 func (g *GPU) power(uc, um float64) units.Power {
-	p := g.cfg.Power
-	fcR := g.coreFRatio[g.coreLevel]
-	fmR := g.memFRatio[g.memLevel]
-	return p.Board +
-		units.Power(fcR*g.coreScale)*(p.CoreClockTree+units.Power(uc)*p.CoreDynamic) +
-		units.Power(fmR)*(p.MemClockTree+units.Power(um)*p.MemDynamic)
+	return powerAt(&g.cfg.Power, g.coreFRatio[g.coreLevel], g.memFRatio[g.memLevel], g.coreScale, uc, um)
 }
 
 // accrue integrates utilization and energy from lastUpdate to now.
@@ -526,7 +491,7 @@ func (g *GPU) loadPhase() {
 func (g *GPU) startSegment() {
 	es := g.running
 	tc, tm := g.demandTimes(es.remOps, es.remBytes, g.coreLevel, g.memLevel)
-	t := unifyPhaseTime(tc, tm, es.remStall, g.cfg.OverlapGamma)
+	t := UnifyPhaseTime(tc, tm, es.remStall, g.cfg.OverlapGamma)
 	es.segStart = g.engine.Now()
 	es.segT = t
 	if t <= 0 {

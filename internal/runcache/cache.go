@@ -7,8 +7,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"greengpu/internal/core"
 	"greengpu/internal/division"
@@ -33,6 +36,8 @@ var (
 		"Completed entries currently held in memory (last cache to finish an entry wins).")
 	metricCorrupt = telemetry.NewCounter("greengpu_runcache_corrupt_total",
 		"Corrupt, truncated or wrong-schema disk entries quarantined and recomputed.")
+	metricDiskEvictions = telemetry.NewCounter("greengpu_runcache_disk_evictions_total",
+		"Disk entries removed to keep the gob layer under MaxDiskBytes.")
 )
 
 // Value is what the cache stores per simulation point: the framework result
@@ -104,13 +109,23 @@ type Options struct {
 	// bound is hit the least-recently-used completed entry is evicted
 	// (the disk layer, if any, still holds it).
 	MaxEntries int
+	// MaxDiskBytes bounds the on-disk gob layer's total size in bytes; 0
+	// means unbounded. After each store, oldest entries (by modification
+	// time) are removed until the layer fits the budget again — the
+	// freshest points survive, the stalest recompute.
+	MaxDiskBytes int64
 }
 
 // Cache memoizes simulation points by fingerprint. It is safe for
 // concurrent use by any number of goroutines.
 type Cache struct {
-	dir string // versioned disk root, "" when disabled
-	max int
+	dir     string // versioned disk root, "" when disabled
+	max     int
+	maxDisk int64
+
+	// diskMu serializes this process's eviction sweeps; cross-process
+	// races are benign (a missing victim is skipped).
+	diskMu sync.Mutex
 
 	mu      sync.Mutex
 	entries map[Key]*entry
@@ -140,8 +155,12 @@ func New(o Options) (*Cache, error) {
 	if o.MaxEntries < 0 {
 		return nil, fmt.Errorf("runcache: MaxEntries must be non-negative")
 	}
+	if o.MaxDiskBytes < 0 {
+		return nil, fmt.Errorf("runcache: MaxDiskBytes must be non-negative")
+	}
 	c := &Cache{
 		max:     o.MaxEntries,
+		maxDisk: o.MaxDiskBytes,
 		entries: make(map[Key]*entry),
 		lru:     list.New(),
 	}
@@ -219,6 +238,28 @@ func (c *Cache) Do(key Key, compute func() (Value, error)) (Value, error) {
 		completed = true
 		c.finish(e, v, nil, true)
 		return v.clone(), nil
+	}
+
+	// Cross-process single flight: with a disk layer, hold the key's
+	// advisory file lock over compute+store so concurrent processes
+	// sharing the directory simulate the point once. Best effort — if the
+	// platform or filesystem can't lock, compute anyway (the atomic store
+	// keeps correctness; only the work is duplicated).
+	if c.dir != "" {
+		if unlock, lerr := flockPath(c.path(key) + ".lock"); lerr == nil {
+			defer unlock()
+			// Double-checked load: another process may have finished the
+			// point while this one waited on its lock.
+			if v, ok := c.load(key); ok {
+				c.diskHits.Add(1)
+				c.hits.Add(1)
+				metricDiskHits.Inc()
+				metricHits.Inc()
+				completed = true
+				c.finish(e, v, nil, true)
+				return v.clone(), nil
+			}
+		}
 	}
 
 	v, err := compute()
@@ -335,5 +376,62 @@ func (c *Cache) store(key Key, v Value) {
 	}
 	if err := os.Rename(tmp, c.path(key)); err != nil {
 		os.Remove(tmp)
+		return
+	}
+	if c.maxDisk > 0 {
+		c.enforceDiskCap(c.path(key))
+	}
+}
+
+// enforceDiskCap shrinks the gob layer back under MaxDiskBytes, removing
+// entries oldest-modification-first. The just-written file (keep) is
+// spared unless it alone exceeds the whole budget, in which case it is
+// removed too — a cap must bound the directory, not merely trim it.
+func (c *Cache) enforceDiskCap(keep string) {
+	c.diskMu.Lock()
+	defer c.diskMu.Unlock()
+	ents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	type file struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var files []file
+	var total int64
+	for _, de := range ents {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".gob") {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue // raced with another process's eviction
+		}
+		f := file{filepath.Join(c.dir, de.Name()), info.Size(), info.ModTime()}
+		files = append(files, f)
+		total += f.size
+	}
+	if total <= c.maxDisk {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+	for _, f := range files {
+		if total <= c.maxDisk {
+			return
+		}
+		if f.path == keep {
+			continue
+		}
+		if os.Remove(f.path) == nil {
+			metricDiskEvictions.Inc()
+			total -= f.size
+		}
+	}
+	if total > c.maxDisk {
+		if os.Remove(keep) == nil {
+			metricDiskEvictions.Inc()
+		}
 	}
 }

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package runcache
+
+import "errors"
+
+// flockPath reports that advisory file locking is unavailable; callers
+// fall back to computing without cross-process single flight.
+func flockPath(path string) (func(), error) {
+	return nil, errors.New("runcache: file locking unsupported on this platform")
+}

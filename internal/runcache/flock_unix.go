@@ -1,0 +1,27 @@
+//go:build unix
+
+package runcache
+
+import (
+	"os"
+	"syscall"
+)
+
+// flockPath takes a blocking exclusive advisory lock on path, creating the
+// file if needed, and returns the release function. Lock files are tiny
+// and harmless; they are left in place (removing them would race other
+// lockers).
+func flockPath(path string) (func(), error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}, nil
+}

@@ -461,8 +461,14 @@ func TestDiskLayerVersionStamp(t *testing.T) {
 	if err != nil {
 		t.Fatalf("version-stamped dir missing: %v", err)
 	}
-	if len(files) != 1 {
-		t.Fatalf("%d files under %s, want 1", len(files), versioned)
+	gobs := 0
+	for _, f := range files {
+		if filepath.Ext(f.Name()) == ".gob" {
+			gobs++
+		}
+	}
+	if gobs != 1 {
+		t.Fatalf("%d gob entries under %s, want 1", gobs, versioned)
 	}
 	// An entry filed under a different (stale) version is invisible.
 	stale := filepath.Join(dir, fmt.Sprintf("v%d", SchemaVersion+1))
@@ -626,5 +632,144 @@ func TestMaxEntriesEviction(t *testing.T) {
 		return sampleValue(), nil
 	}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// gobLayerSize sums the on-disk gob entries under the cache's versioned
+// directory (lock and quarantine files don't count against the cap).
+func gobLayerSize(t *testing.T, dir string) int64 {
+	t.Helper()
+	var total int64
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() && filepath.Ext(path) == ".gob" {
+			total += info.Size()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return total
+}
+
+// TestMaxDiskBytesEviction fills the disk layer well past its byte cap and
+// verifies the layer shrinks back under it, keeping the newest entry.
+func TestMaxDiskBytesEviction(t *testing.T) {
+	probeDir := t.TempDir()
+	probe, err := New(Options{Dir: probeDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var probeKey Key
+	if _, err := probe.Do(probeKey, func() (Value, error) { return sampleValue(), nil }); err != nil {
+		t.Fatal(err)
+	}
+	sz := gobLayerSize(t, probeDir)
+	if sz == 0 {
+		t.Fatal("probe entry not stored")
+	}
+
+	dir := t.TempDir()
+	cap := 2*sz + sz/2 // room for two entries, not three
+	c, err := New(Options{Dir: dir, MaxDiskBytes: cap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(i byte) Key { var k Key; k[0] = i; return k }
+	const n = 5
+	for i := byte(0); i < n; i++ {
+		if _, err := c.Do(mk(i), func() (Value, error) { return sampleValue(), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := gobLayerSize(t, dir); got > cap {
+		t.Errorf("disk layer holds %d bytes, cap is %d", got, cap)
+	}
+
+	// The most recently stored entry must have survived every sweep: a
+	// fresh cache over the directory serves it without recomputing.
+	c2, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Do(mk(n-1), func() (Value, error) {
+		t.Error("newest entry was evicted")
+		return sampleValue(), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// And at least one older entry must be gone.
+	recomputed := false
+	for i := byte(0); i < n-1 && !recomputed; i++ {
+		if _, err := c2.Do(mk(i), func() (Value, error) {
+			recomputed = true
+			return sampleValue(), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !recomputed {
+		t.Error("no entry was evicted despite exceeding the cap")
+	}
+}
+
+// TestMaxDiskBytesSingleOversizedEntry pins the degenerate case: an entry
+// larger than the whole budget cannot stay on disk either.
+func TestMaxDiskBytesSingleOversizedEntry(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Options{Dir: dir, MaxDiskBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var key Key
+	if _, err := c.Do(key, func() (Value, error) { return sampleValue(), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := gobLayerSize(t, dir); got > 1 {
+		t.Errorf("disk layer holds %d bytes under a 1-byte cap", got)
+	}
+}
+
+func TestNegativeMaxDiskBytes(t *testing.T) {
+	if _, err := New(Options{MaxDiskBytes: -1}); err == nil {
+		t.Error("negative MaxDiskBytes accepted")
+	}
+}
+
+// TestDiskLockSingleFlightAcrossCaches verifies the per-key file lock
+// extends single flight across cache instances sharing a directory — the
+// in-process stand-in for two concurrent processes.
+func TestDiskLockSingleFlightAcrossCaches(t *testing.T) {
+	dir := t.TempDir()
+	var key Key
+	key[0] = 9
+	var computes atomic.Int32
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		c, err := New(Options{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(c *Cache) {
+			defer wg.Done()
+			<-start
+			if _, err := c.Do(key, func() (Value, error) {
+				computes.Add(1)
+				time.Sleep(50 * time.Millisecond)
+				return sampleValue(), nil
+			}); err != nil {
+				t.Error(err)
+			}
+		}(c)
+	}
+	close(start)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Errorf("point computed %d times across caches sharing a directory, want 1", n)
 	}
 }

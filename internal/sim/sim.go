@@ -141,11 +141,20 @@ func (e *Engine) After(d time.Duration, name string, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: After(%v) with negative delay", d))
 	}
-	at := e.now + d
-	if at < e.now { // int64 overflow
+	return e.Schedule(AddTime(e.now, d), name, fn)
+}
+
+// AddTime advances a simulation timestamp by a non-negative delay with the
+// same saturation rule the engine clock uses: sums that would overflow the
+// int64 nanosecond range pin to MaxTime instead of wrapping into the past.
+// Exported so batch evaluators (internal/sweep) replaying the clock outside
+// an Engine advance it bit-identically.
+func AddTime(t, d time.Duration) time.Duration {
+	at := t + d
+	if at < t { // int64 overflow
 		at = MaxTime
 	}
-	return e.Schedule(at, name, fn)
+	return at
 }
 
 // Cancel removes the event from the queue and recycles its node.

@@ -1,0 +1,65 @@
+package sweep
+
+import (
+	"testing"
+
+	"greengpu/internal/core"
+	"greengpu/internal/testbed"
+	"greengpu/internal/workload"
+)
+
+// ladderSpec is the ladder² benchmark workload: the paper's full 6×6 GPU
+// ladder on one profile at the frequency-study iteration count.
+func ladderSpec() Spec {
+	return Spec{Workloads: []string{"kmeans"}, Iterations: 4, CPULevel: -1}
+}
+
+// BenchmarkSweepBatched measures the batch engine over the 6×6 ladder:
+// shared tables plus the closed-form evaluator, no cache, sequential — the
+// points/s this reports is pure per-point throughput.
+func BenchmarkSweepBatched(b *testing.B) {
+	e := testEngine(b)
+	spec := ladderSpec()
+	pts, err := e.Expand(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(pts)*b.N)/b.Elapsed().Seconds(), "points/s")
+}
+
+// BenchmarkSweepNaive measures the same 36 points evaluated the pre-batch
+// way: one fresh machine and one full event-driven simulation per point.
+// The committed BENCH_sweep.json pins the batched engine at ≥10× this
+// baseline's points/s.
+func BenchmarkSweepNaive(b *testing.B) {
+	e := testEngine(b)
+	spec := ladderSpec()
+	pts, err := e.Expand(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof, err := workload.ByName(e.Profiles, "kmeans")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pt := range pts {
+			cfg := e.config(&spec, pt)
+			if _, err := core.Run(testbed.NewFrom(e.GPU, e.CPU, e.Bus), prof, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(pts)*b.N)/b.Elapsed().Seconds(), "points/s")
+}

@@ -1,0 +1,569 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"greengpu/internal/bus"
+	"greengpu/internal/core"
+	"greengpu/internal/cpusim"
+	"greengpu/internal/faultinject"
+	"greengpu/internal/gpusim"
+	"greengpu/internal/parallel"
+	"greengpu/internal/runcache"
+	"greengpu/internal/sim"
+	"greengpu/internal/telemetry"
+	"greengpu/internal/testbed"
+	"greengpu/internal/trace"
+	"greengpu/internal/units"
+	"greengpu/internal/workload"
+)
+
+// Package metrics (see docs/OBSERVABILITY.md). No-ops unless telemetry is
+// enabled.
+var (
+	metricPoints = telemetry.NewCounter(telemetry.MetricSweepPoints,
+		"Simulation points evaluated by the batch sweep engine.")
+	metricFastPath = telemetry.NewCounter(telemetry.MetricSweepFastPath,
+		"Sweep points served by the closed-form batch evaluator.")
+	metricFallback = telemetry.NewCounter(telemetry.MetricSweepFallback,
+		"Sweep points that fell back to a full per-point simulation.")
+	metricBatches = telemetry.NewCounter(telemetry.MetricSweepBatches,
+		"Sweep batches evaluated (Engine.Run calls).")
+)
+
+// Engine evaluates sweep specs against one set of device configurations
+// and calibrated workloads. The zero value is not usable; fill every
+// exported field (Jobs, Cache and FaultPlan are optional).
+//
+// An Engine is safe for concurrent use: the configurations and profiles
+// are treated as immutable, and each batch builds its own shared tables.
+type Engine struct {
+	GPU      gpusim.Config
+	CPU      cpusim.Config
+	Bus      bus.Config
+	Profiles []*workload.Profile
+
+	// Jobs bounds how many points evaluate concurrently; 0 selects one
+	// worker per CPU, 1 forces sequential execution. Results are
+	// byte-identical for every value.
+	Jobs int
+
+	// Cache, when non-nil, memoizes eligible points under exactly the
+	// runcache keys the per-point studies use, so sweeps and studies
+	// share hits.
+	Cache *runcache.Cache
+
+	// FaultPlan, when non-nil, is the ambient chaos plan: points whose
+	// configuration carries no plan of their own inject this one,
+	// mirroring experiments.Env.
+	FaultPlan *faultinject.Plan
+}
+
+// PointResult pairs a point with its run result.
+type PointResult struct {
+	Point
+	Result *core.Result
+	// Fast reports whether the closed-form batch evaluator produced the
+	// result (false: full simulation, possibly via the run cache).
+	Fast bool
+}
+
+// Expand resolves a spec into its ordered point list: workloads outermost,
+// then the core ladder, then the memory ladder (draws replace the ladder).
+// The order is part of the engine's determinism contract — results are
+// returned in exactly this order at any Jobs value.
+func (e *Engine) Expand(spec Spec) ([]Point, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	names := spec.Workloads
+	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
+		names = make([]string, len(e.Profiles))
+		for i, p := range e.Profiles {
+			names[i] = p.Name
+		}
+	}
+	for _, n := range names {
+		if _, err := workload.ByName(e.Profiles, n); err != nil {
+			return nil, err
+		}
+	}
+
+	if spec.Draws > 0 {
+		pts := make([]Point, 0, len(names)*spec.Draws)
+		for _, n := range names {
+			for d := 0; d < spec.Draws; d++ {
+				pts = append(pts, Point{Workload: n, Draw: d, Core: -1, Mem: -1, CPU: -1})
+			}
+		}
+		return pts, nil
+	}
+
+	cores, err := resolveLadder(spec.CoreLevels, len(e.GPU.CoreLevels), "core")
+	if err != nil {
+		return nil, err
+	}
+	mems, err := resolveLadder(spec.MemLevels, len(e.GPU.MemLevels), "mem")
+	if err != nil {
+		return nil, err
+	}
+	cpuLvl := spec.CPULevel
+	if cpuLvl == -1 {
+		cpuLvl = len(e.CPU.PStates) - 1
+	}
+	if cpuLvl >= len(e.CPU.PStates) {
+		return nil, fmt.Errorf("sweep: CPU P-state %d out of range [0,%d)", cpuLvl, len(e.CPU.PStates))
+	}
+	pts := make([]Point, 0, len(names)*len(cores)*len(mems))
+	for _, n := range names {
+		for _, c := range cores {
+			for _, m := range mems {
+				pts = append(pts, Point{Workload: n, Draw: -1, Core: c, Mem: m, CPU: cpuLvl})
+			}
+		}
+	}
+	return pts, nil
+}
+
+// resolveLadder checks explicit indices against the device ladder, or
+// materializes the full ladder when none were given.
+func resolveLadder(sel []int, n int, domain string) ([]int, error) {
+	if sel == nil {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	}
+	for _, l := range sel {
+		if l >= n {
+			return nil, fmt.Errorf("sweep: %s level %d out of range [0,%d)", domain, l, n)
+		}
+	}
+	return sel, nil
+}
+
+// baseConfig builds the batch's shared framework configuration — the
+// exact shape the per-point studies use (core.DefaultConfig plus
+// Iterations), so eligible points share their run-cache keys. The ambient
+// chaos plan applies here; per-draw plans override it in config.
+func (e *Engine) baseConfig(spec *Spec) core.Config {
+	cfg := core.DefaultConfig(spec.Mode)
+	cfg.Iterations = spec.Iterations
+	if e.FaultPlan != nil {
+		cfg.FaultPlan = e.FaultPlan
+	}
+	return cfg
+}
+
+// config specializes the batch's base configuration for one point.
+func (e *Engine) config(spec *Spec, pt Point) core.Config {
+	cfg := e.baseConfig(spec)
+	var lv core.Levels
+	specialize(&cfg, spec, pt, &lv)
+	return cfg
+}
+
+// specialize pins a ladder point's initial levels, or installs a draw
+// point's per-draw fault plan (which wins over the ambient one). lv is
+// caller-provided storage for the levels, so the hot path's copy can live
+// on its evaluator's stack.
+func specialize(cfg *core.Config, spec *Spec, pt Point, lv *core.Levels) {
+	if pt.Draw >= 0 {
+		plan := faultinject.Default(parallel.TaskSeed(spec.Seed, pt.Draw))
+		cfg.FaultPlan = &plan
+	} else {
+		*lv = core.Levels{Core: pt.Core, Mem: pt.Mem, CPU: pt.CPU}
+		cfg.InitialLevels = lv
+	}
+}
+
+// Run expands and evaluates the spec, returning results in Expand order.
+func (e *Engine) Run(spec Spec) ([]PointResult, error) {
+	pts, err := e.Expand(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Bus.Validate(); err != nil {
+		return nil, err
+	}
+	gt, err := gpusim.BuildTables(e.GPU)
+	if err != nil {
+		return nil, err
+	}
+	ct, err := cpusim.BuildTables(e.CPU)
+	if err != nil {
+		return nil, err
+	}
+	base := e.baseConfig(&spec)
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	baseFast := fastEligible(&base)
+	wts := make(map[string]*workloadTables)
+	for _, pt := range pts {
+		if _, ok := wts[pt.Workload]; ok {
+			continue
+		}
+		prof, err := workload.ByName(e.Profiles, pt.Workload)
+		if err != nil {
+			return nil, err
+		}
+		wts[pt.Workload] = newWorkloadTables(prof, gt, &e.Bus)
+	}
+	metricBatches.Inc()
+	metricPoints.Add(uint64(len(pts)))
+	return parallel.Map(context.Background(), pts,
+		func(_ context.Context, _ int, pt Point) (PointResult, error) {
+			return e.evalPoint(&spec, &base, baseFast, wts[pt.Workload], gt, ct, pt)
+		}, parallel.Workers(e.Jobs))
+}
+
+// evalPoint evaluates one point: closed form when the configuration is
+// expressible, full simulation otherwise, through the run cache when one
+// is attached and the point is cacheable.
+func (e *Engine) evalPoint(spec *Spec, base *core.Config, baseFast bool, wt *workloadTables, gt *gpusim.Tables, ct *cpusim.Tables, pt Point) (PointResult, error) {
+	cfg := *base
+	var lv core.Levels
+	specialize(&cfg, spec, pt, &lv)
+	// Per-draw plans (validated by core.Run on the fallback path) are the
+	// only per-point deviation from the batch-validated base config.
+	fast := baseFast && pt.Draw < 0
+	if fast {
+		metricFastPath.Inc()
+	} else {
+		metricFallback.Inc()
+	}
+	compute := func() (*core.Result, error) {
+		if fast {
+			return e.fastRun(wt, gt, ct, &cfg)
+		}
+		return core.Run(testbed.NewFrom(e.GPU, e.CPU, e.Bus), wt.prof, cfg)
+	}
+	if e.Cache == nil || !runcache.Cacheable(&cfg) {
+		r, err := compute()
+		return PointResult{Point: pt, Result: r, Fast: fast}, err
+	}
+	key := runcache.KeyOf(&e.GPU, &e.CPU, &e.Bus, wt.prof, &cfg, "")
+	v, err := e.Cache.Do(key, func() (runcache.Value, error) {
+		r, err := compute()
+		return runcache.Value{Result: r}, err
+	})
+	if err != nil {
+		return PointResult{}, err
+	}
+	return PointResult{Point: pt, Result: v.Result, Fast: fast}, nil
+}
+
+// fastEligible reports whether the closed-form evaluator expresses the
+// configuration exactly: the baseline mode's event sequence with no
+// dynamic control, no fault injection, and no observers. Everything else
+// falls back to a full simulation.
+func fastEligible(cfg *core.Config) bool {
+	return cfg.Mode == core.Baseline &&
+		(cfg.StaticRatio == nil || *cfg.StaticRatio == 0) &&
+		(cfg.FaultPlan == nil || cfg.FaultPlan.Zero()) &&
+		cfg.SensorFilter == nil &&
+		cfg.ActuatorFilter == nil &&
+		cfg.DivisionPolicy == nil &&
+		cfg.CPUGovernor == nil &&
+		cfg.OnDVFS == nil &&
+		cfg.OnCPUGovernor == nil &&
+		cfg.OnIteration == nil
+}
+
+// workloadTables is the per-workload shared precomputation of a batch:
+// the host→device bus time and, per kernel phase, the per-domain busy
+// times tabulated against each ladder (the separable halves of the phase
+// timing model). Points that differ in one knob index the other domain's
+// unchanged column — the incremental-recompute mechanism.
+type workloadTables struct {
+	prof    *workload.Profile
+	busTime time.Duration // host→device transfer service time
+	gamma   float64
+	phases  []phaseTables
+}
+
+type phaseTables struct {
+	stall float64
+	tc    []time.Duration // core busy time per core level
+	tm    []time.Duration // memory busy time per memory level
+}
+
+// newWorkloadTables precomputes the profile's batch tables, with exactly
+// the arithmetic (and operation order) the live path uses in
+// Profile.GPUKernel, Bus.TransferTime and GPU.startSegment.
+func newWorkloadTables(prof *workload.Profile, gt *gpusim.Tables, b *bus.Config) *workloadTables {
+	const gpuUnits = (1 - 0) * workload.UnitsPerIteration // baseline: r = 0
+	xfer := prof.TransferBytes(gpuUnits)
+	wt := &workloadTables{
+		prof:    prof,
+		busTime: b.Latency + b.Bandwidth.TransferTime(xfer),
+		gamma:   gt.Gamma(),
+		phases:  make([]phaseTables, len(prof.Phases)),
+	}
+	nc, nm := len(gt.CoreDenom), len(gt.MemDenom)
+	for i, ph := range prof.Phases {
+		u := gpuUnits * ph.Fraction
+		ops := ph.OpsPerUnit * u
+		bytes := ph.BytesPerUnit * u
+		pt := phaseTables{
+			stall: ph.StallPerUnit * u,
+			tc:    make([]time.Duration, nc),
+			tm:    make([]time.Duration, nm),
+		}
+		for c := 0; c < nc; c++ {
+			pt.tc[c] = gt.CoreTime(ops, c)
+		}
+		for m := 0; m < nm; m++ {
+			pt.tm[m] = gt.MemTime(bytes, m)
+		}
+		wt.phases[i] = pt
+	}
+	return wt
+}
+
+// fastRun replays the baseline event sequence in closed form, with the
+// engine's exact accrual arithmetic (same operands, same order, same
+// saturation rule), so the Result is byte-identical to core.Run on a fresh
+// machine.
+//
+// Every baseline iteration is identical — same levels, same demands, same
+// bus window — so the per-phase durations and energy increments are
+// derived once per point and replayed per iteration as pure accumulation.
+// The one thing that could differ between iterations is clock saturation
+// near MaxTime; when the run could get anywhere near it, the evaluator
+// uses the exact per-event loop instead.
+func (e *Engine) fastRun(wt *workloadTables, gt *gpusim.Tables, ct *cpusim.Tables, cfg *core.Config) (*core.Result, error) {
+	c := len(e.GPU.CoreLevels) - 1
+	m := len(e.GPU.MemLevels) - 1
+	cpuLvl := len(e.CPU.PStates) - 1
+	if l := cfg.InitialLevels; l != nil {
+		if l.Core < 0 || l.Core >= len(e.GPU.CoreLevels) ||
+			l.Mem < 0 || l.Mem >= len(e.GPU.MemLevels) ||
+			l.CPU < 0 || l.CPU >= len(e.CPU.PStates) {
+			return nil, fmt.Errorf("core: InitialLevels %+v out of range", *l)
+		}
+		c, m, cpuLvl = l.Core, l.Mem, l.CPU
+	}
+	iters := wt.prof.Iterations
+	if cfg.Iterations > 0 {
+		iters = cfg.Iterations
+	}
+	if iters < 1 {
+		iters = 1 // the framework loop always runs one iteration
+	}
+
+	cpuBusy := 0
+	if cfg.SpinWait {
+		cpuBusy = 1
+	}
+	pe := pointEval{
+		core: c, mem: m, cpu: cpuLvl,
+		idleP: gt.Power(c, m, 0, 0),
+		cpuP:  ct.PowerAt(cpuLvl, cpuBusy),
+		spin:  cfg.SpinWait,
+	}
+
+	// Per-point precompute: phase durations and energies at (c, m),
+	// pulled from the batch's shared per-domain columns. A point with an
+	// oversized phase list or a run long enough to approach the clock's
+	// saturation range takes the per-event evaluator instead.
+	exact := len(wt.phases) > len(pe.phases)
+	span := wt.busTime
+	if !exact {
+		for p := range wt.phases {
+			ph := &wt.phases[p]
+			tc, tm := ph.tc[c], ph.tm[m]
+			t := gpusim.UnifyPhaseTime(tc, tm, ph.stall, wt.gamma)
+			if t <= 0 {
+				continue // zero-length phase: completes without accrual
+			}
+			uc := units.Clamp(tc.Seconds()/t.Seconds(), 0, 1)
+			um := units.Clamp(tm.Seconds()/t.Seconds(), 0, 1)
+			pe.phases[pe.nPhases] = phaseEval{
+				dt:     t,
+				energy: gt.Power(c, m, uc, um).Over(t),
+			}
+			pe.nPhases++
+			if t > sim.MaxTime-span {
+				exact = true
+				break
+			}
+			span += t
+		}
+	}
+	if exact || (span > 0 && time.Duration(iters) > sim.MaxTime/span) {
+		return e.fastRunExact(wt, gt, &pe, cfg, iters), nil
+	}
+	iterWall := span
+	idleE := pe.idleP.Over(wt.busTime)
+	cpuEIter := pe.cpuP.Over(span)
+
+	res := newFastResult(wt.prof.Name, cfg.Mode, iters)
+	var now time.Duration
+	var gpuE, cpuE, spinE units.Energy
+	var spinT time.Duration
+	for i := 0; i < iters; i++ {
+		startGPU, startCPU := gpuE, cpuE
+		// Host→device transfer window: the GPU accrues it idle when the
+		// kernel starts; then one accrual per positive-length phase.
+		if wt.busTime > 0 {
+			gpuE += idleE
+		}
+		for p := 0; p < pe.nPhases; p++ {
+			gpuE += pe.phases[p].energy
+		}
+		// The CPU side has no work (r = 0): it accrues once per
+		// iteration over the whole wall time, spinning one core when
+		// SpinWait models the synchronous CUDA wait.
+		if iterWall > 0 {
+			cpuE += cpuEIter
+			if pe.spin {
+				spinT += iterWall
+				spinE += cpuEIter
+			}
+		}
+		now += iterWall
+		st := &res.Iterations[i]
+		st.Index = i
+		st.TG = iterWall
+		st.WallTime = iterWall
+		st.CoreLevel = c
+		st.MemLevel = m
+		st.CPULevel = cpuLvl
+		st.EnergyGPU = gpuE - startGPU
+		st.EnergyCPU = cpuE - startCPU
+		st.Energy = st.EnergyGPU + st.EnergyCPU
+	}
+	res.TotalTime = now
+	res.EnergyGPU = gpuE
+	res.EnergyCPU = cpuE
+	res.Energy = res.EnergyGPU + res.EnergyCPU
+	res.SpinTime = spinT
+	res.SpinEnergy = spinE
+	return res, nil
+}
+
+// pointEval is one point's evaluation state. The phase array is fixed-size
+// so the whole struct lives on the evaluator's stack; profiles with more
+// phases (none on the testbed) use the per-event evaluator.
+type pointEval struct {
+	core, mem, cpu int
+	idleP          units.Power
+	cpuP           units.Power
+	spin           bool
+	nPhases        int
+	phases         [16]phaseEval
+}
+
+// phaseEval is one positive-length phase at the point's levels.
+type phaseEval struct {
+	dt     time.Duration
+	energy units.Energy
+}
+
+// resultBuf backs a result and its iteration stats with one allocation.
+type resultBuf struct {
+	res   core.Result
+	stats [4]core.IterationStats
+}
+
+// newFastResult allocates a result whose Iterations slice shares the
+// result's allocation for runs short enough (the common case).
+func newFastResult(name string, mode core.Mode, iters int) *core.Result {
+	buf := &resultBuf{}
+	buf.res.Workload = name
+	buf.res.Mode = mode
+	if iters <= len(buf.stats) {
+		buf.res.Iterations = buf.stats[:iters:iters]
+	} else {
+		buf.res.Iterations = make([]core.IterationStats, iters)
+	}
+	return &buf.res
+}
+
+// fastRunExact is the saturation-safe evaluator: it advances the clock
+// event by event with the engine's saturation rule (sim.AddTime for phase
+// ends, the bus's plain add for transfer windows), re-deriving each
+// phase's time and utilizations per iteration exactly as the device does.
+func (e *Engine) fastRunExact(wt *workloadTables, gt *gpusim.Tables, pe *pointEval, cfg *core.Config, iters int) *core.Result {
+	res := newFastResult(wt.prof.Name, cfg.Mode, iters)
+	c, m := pe.core, pe.mem
+	var now time.Duration
+	var gpuE, cpuE, spinE units.Energy
+	var spinT time.Duration
+	for i := 0; i < iters; i++ {
+		startGPU, startCPU := gpuE, cpuE
+		iterStart := now
+		busEnd := iterStart + wt.busTime
+		if dt := busEnd - now; dt > 0 {
+			gpuE += pe.idleP.Over(dt)
+		}
+		now = busEnd
+		for p := range wt.phases {
+			ph := &wt.phases[p]
+			tc, tm := ph.tc[c], ph.tm[m]
+			t := gpusim.UnifyPhaseTime(tc, tm, ph.stall, wt.gamma)
+			if t <= 0 {
+				continue
+			}
+			next := sim.AddTime(now, t)
+			if dt := next - now; dt > 0 {
+				uc := units.Clamp(tc.Seconds()/t.Seconds(), 0, 1)
+				um := units.Clamp(tm.Seconds()/t.Seconds(), 0, 1)
+				gpuE += gt.Power(c, m, uc, um).Over(dt)
+			}
+			now = next
+		}
+		iterWall := now - iterStart
+		if iterWall > 0 {
+			cpuEIter := pe.cpuP.Over(iterWall)
+			cpuE += cpuEIter
+			if pe.spin {
+				spinT += iterWall
+				spinE += cpuEIter
+			}
+		}
+		st := &res.Iterations[i]
+		st.Index = i
+		st.TG = iterWall
+		st.WallTime = iterWall
+		st.CoreLevel = c
+		st.MemLevel = m
+		st.CPULevel = pe.cpu
+		st.EnergyGPU = gpuE - startGPU
+		st.EnergyCPU = cpuE - startCPU
+		st.Energy = st.EnergyGPU + st.EnergyCPU
+	}
+	res.TotalTime = now
+	res.EnergyGPU = gpuE
+	res.EnergyCPU = cpuE
+	res.Energy = res.EnergyGPU + res.EnergyCPU
+	res.SpinTime = spinT
+	res.SpinEnergy = spinE
+	return res
+}
+
+// Table renders results as the suite's standard trace table: one row per
+// point with its levels, wall time and energy split.
+func Table(e *Engine, results []PointResult) *trace.Table {
+	t := trace.NewTable("Sweep points",
+		"workload", "draw", "core_mhz", "mem_mhz", "cpu_mhz",
+		"exec_s", "energy_j", "energy_gpu_j", "energy_cpu_j")
+	for _, pr := range results {
+		coreMHz, memMHz, cpuMHz := "", "", ""
+		if pr.Draw < 0 {
+			coreMHz = fmt.Sprintf("%.0f", e.GPU.CoreLevels[pr.Core].MHz())
+			memMHz = fmt.Sprintf("%.0f", e.GPU.MemLevels[pr.Mem].MHz())
+			cpuMHz = fmt.Sprintf("%.0f", e.CPU.PStates[pr.CPU].Frequency.MHz())
+		}
+		r := pr.Result
+		t.AddRowf(pr.Workload, pr.Draw, coreMHz, memMHz, cpuMHz,
+			r.TotalTime.Seconds(), r.Energy.Joules(),
+			r.EnergyGPU.Joules(), r.EnergyCPU.Joules())
+	}
+	return t
+}

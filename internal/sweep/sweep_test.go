@@ -1,0 +1,341 @@
+package sweep
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"greengpu/internal/core"
+	"greengpu/internal/cpusim"
+	"greengpu/internal/faultinject"
+	"greengpu/internal/gpusim"
+	"greengpu/internal/runcache"
+	"greengpu/internal/testbed"
+	"greengpu/internal/workload"
+)
+
+// testEngine builds an engine on the paper's testbed and workloads.
+func testEngine(t testing.TB) *Engine {
+	t.Helper()
+	gpu, cpu, b := testbed.GeForce8800GTX(), testbed.PhenomIIX2(), testbed.PCIe()
+	profiles, err := workload.Rodinia(gpu, cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Engine{GPU: gpu, CPU: cpu, Bus: b, Profiles: profiles, Jobs: 1}
+}
+
+// naiveRun evaluates the expanded points one at a time on fresh machines —
+// the exact per-point path the batch evaluator must reproduce.
+func naiveRun(t testing.TB, e *Engine, spec Spec) []*core.Result {
+	t.Helper()
+	pts, err := e.Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]*core.Result, len(pts))
+	for i, pt := range pts {
+		prof, err := workload.ByName(e.Profiles, pt.Workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := e.config(&spec, pt)
+		r, err := core.Run(testbed.NewFrom(e.GPU, e.CPU, e.Bus), prof, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// TestFastPathMatchesNaive is the batch engine's golden contract: over the
+// paper's full 6×6 ladder, every workload's closed-form result must be
+// byte-identical (DeepEqual over float fields — no tolerance) to running
+// the same configuration through core.Run on a fresh machine.
+func TestFastPathMatchesNaive(t *testing.T) {
+	e := testEngine(t)
+	spec := Spec{Iterations: 4, CPULevel: -1}
+	got, err := e.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naiveRun(t, e, spec)
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got), len(want))
+	}
+	fast := 0
+	for i := range got {
+		if got[i].Fast {
+			fast++
+		}
+		if !reflect.DeepEqual(got[i].Result, want[i]) {
+			t.Errorf("point %d (%+v): batched result diverges from per-point run\n got: %+v\nwant: %+v",
+				i, got[i].Point, got[i].Result, want[i])
+		}
+	}
+	if fast != len(got) {
+		t.Errorf("only %d/%d ladder points took the fast path", fast, len(got))
+	}
+}
+
+// TestFastPathIterationDefaults pins the profile-default and single
+// iteration paths (Iterations == 0 uses the profile's count; the loop runs
+// at least once).
+func TestFastPathIterationDefaults(t *testing.T) {
+	e := testEngine(t)
+	for _, iters := range []int{0, 1, 7} {
+		spec := Spec{Workloads: []string{"kmeans"}, Iterations: iters, CPULevel: 0,
+			CoreLevels: []int{0, 5}, MemLevels: []int{0, 5}}
+		got, err := e.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naiveRun(t, e, spec)
+		for i := range got {
+			if !reflect.DeepEqual(got[i].Result, want[i]) {
+				t.Errorf("iters=%d point %d diverges", iters, i)
+			}
+		}
+	}
+}
+
+// TestSpinWaitOff covers the non-spinning CPU accrual path.
+func TestSpinWaitOff(t *testing.T) {
+	e := testEngine(t)
+	spec := Spec{Workloads: []string{"nbody"}, Iterations: 2, CPULevel: -1,
+		CoreLevels: []int{2}, MemLevels: []int{3}}
+	pts, err := e.Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, ct, wt := mustTables(t, e, "nbody")
+	for _, pt := range pts {
+		cfg := e.config(&spec, pt)
+		cfg.SpinWait = false
+		prof, _ := workload.ByName(e.Profiles, pt.Workload)
+		want, err := core.Run(testbed.NewFrom(e.GPU, e.CPU, e.Bus), prof, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.fastRun(wt, gt, ct, &cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("SpinWait=false result diverges:\n got %+v\nwant %+v", got, want)
+		}
+		if got.SpinTime != 0 || got.SpinEnergy != 0 {
+			t.Errorf("SpinWait=false accrued spin: %v %v", got.SpinTime, got.SpinEnergy)
+		}
+	}
+}
+
+func mustTables(t testing.TB, e *Engine, name string) (*gpusim.Tables, *cpusim.Tables, *workloadTables) {
+	t.Helper()
+	gt, err := gpusim.BuildTables(e.GPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := cpusim.BuildTables(e.CPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := workload.ByName(e.Profiles, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gt, ct, newWorkloadTables(prof, gt, &e.Bus)
+}
+
+// TestJobsDeterminism pins the sharding contract: identical results at any
+// worker count, with and without an ambient chaos plan.
+func TestJobsDeterminism(t *testing.T) {
+	for _, chaos := range []bool{false, true} {
+		spec := Spec{Iterations: 4, CPULevel: -1}
+		if chaos {
+			// Chaos points fall back to full simulation; keep the matrix
+			// to one workload's ladder.
+			spec.Workloads = []string{"kmeans"}
+		}
+		var runs [][]PointResult
+		for _, jobs := range []int{1, 8} {
+			e := testEngine(t)
+			e.Jobs = jobs
+			if chaos {
+				plan := faultinject.Default(2012)
+				e.FaultPlan = &plan
+			}
+			got, err := e.Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runs = append(runs, got)
+		}
+		if !reflect.DeepEqual(runs[0], runs[1]) {
+			t.Errorf("chaos=%v: results differ between jobs=1 and jobs=8", chaos)
+		}
+		if chaos {
+			for _, pr := range runs[0] {
+				if pr.Fast {
+					t.Errorf("chaos point %+v took the fast path", pr.Point)
+				}
+			}
+		}
+	}
+}
+
+// TestDraws covers Monte Carlo expansion: per-draw plans are
+// seed-deterministic and never take the closed form.
+func TestDraws(t *testing.T) {
+	spec := Spec{Workloads: []string{"kmeans"}, Mode: core.Holistic, Iterations: 2, Draws: 3, Seed: 7}
+	var runs [][]PointResult
+	for _, jobs := range []int{1, 8} {
+		e := testEngine(t)
+		e.Jobs = jobs
+		got, err := e.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 3 {
+			t.Fatalf("got %d results, want 3", len(got))
+		}
+		runs = append(runs, got)
+	}
+	if !reflect.DeepEqual(runs[0], runs[1]) {
+		t.Error("draw results differ between jobs=1 and jobs=8")
+	}
+	var faults uint64
+	for d, pr := range runs[0] {
+		if pr.Draw != d {
+			t.Errorf("result %d has draw index %d", d, pr.Draw)
+		}
+		if pr.Fast {
+			t.Errorf("draw %d took the fast path", d)
+		}
+		faults += pr.Result.Faults.Total()
+	}
+	if faults == 0 {
+		t.Error("no faults injected across any draw")
+	}
+}
+
+// TestCacheSharing verifies sweeps populate and consume the run cache
+// under the same keys: a second identical batch is all hits.
+func TestCacheSharing(t *testing.T) {
+	e := testEngine(t)
+	cache, err := runcache.New(runcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Cache = cache
+	spec := Spec{Workloads: []string{"kmeans"}, Iterations: 4, CPULevel: -1}
+	first, err := e.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miss := cache.Stats().Misses
+	if miss == 0 {
+		t.Fatal("first batch recorded no misses")
+	}
+	second, err := e.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cache.Stats()
+	if st.Misses != miss {
+		t.Errorf("second batch missed: %d -> %d", miss, st.Misses)
+	}
+	if st.Hits == 0 {
+		t.Error("second batch recorded no hits")
+	}
+	for i := range first {
+		if !reflect.DeepEqual(first[i].Result, second[i].Result) {
+			t.Errorf("cached result %d diverges", i)
+		}
+	}
+}
+
+func TestExpandErrors(t *testing.T) {
+	e := testEngine(t)
+	for _, spec := range []Spec{
+		{Workloads: []string{"nope"}},
+		{CoreLevels: []int{99}},
+		{MemLevels: []int{99}},
+		{CPULevel: 99},
+		{Iterations: -1},
+		{Draws: -1},
+		{Mode: core.Mode(42)},
+	} {
+		if _, err := e.Run(spec); err == nil {
+			t.Errorf("spec %+v: expected error", spec)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	spec, err := ParseSpec("workloads=kmeans,nbody core=0-2 mem=all cpu=1 iters=6 mode=baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Spec{
+		Workloads:  []string{"kmeans", "nbody"},
+		CoreLevels: []int{0, 1, 2},
+		CPULevel:   1,
+		Iterations: 6,
+		Seed:       DefaultSeed,
+	}
+	if !reflect.DeepEqual(spec, want) {
+		t.Errorf("got %+v, want %+v", spec, want)
+	}
+
+	spec, err = ParseSpec("draws=10 seed=99 mode=holistic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Draws != 10 || spec.Seed != 99 || spec.Mode != core.Holistic || spec.CPULevel != -1 {
+		t.Errorf("got %+v", spec)
+	}
+
+	if _, err := ParseSpec(""); err != nil {
+		t.Errorf("empty spec: %v", err)
+	}
+	for _, bad := range []string{
+		"core", "core=", "core=x", "core=2-0", "core=-1", "core=0-99999999999",
+		"cpu=x", "mode=warp", "bogus=1", "workloads=a,,b", "seed=-1", "iters=-2",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q): expected error", bad)
+		}
+	}
+}
+
+// TestTableByteIdentity is the rendered golden: the batch's table must be
+// byte-identical to one built from per-point core.Run results.
+func TestTableByteIdentity(t *testing.T) {
+	e := testEngine(t)
+	spec := Spec{Iterations: 4, CPULevel: -1}
+	got, err := e.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := e.Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naiveRun(t, e, spec)
+	naivePRs := make([]PointResult, len(want))
+	for i := range want {
+		naivePRs[i] = PointResult{Point: pts[i], Result: want[i]}
+	}
+	var a, b bytes.Buffer
+	if err := Table(e, got).WriteCSV(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Table(e, naivePRs).WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("batched sweep table differs from per-point table")
+	}
+}
