@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: fmt fmtcheck vet build test race bench bench-stable bench-json bench-gate bench-sweep-json bench-sweep-gate bench-experiments golden determinism chaos lint-docs linkcheck check
+.PHONY: fmt fmtcheck vet build test race bench bench-stable bench-json bench-gate bench-sweep-json bench-sweep-gate bench-experiments golden determinism chaos predict-gate lint-docs linkcheck check
 
 fmt:
 	gofmt -w .
@@ -70,11 +70,15 @@ bench-sweep-json:
 
 # bench-sweep-gate is the sweep regression gate CI enforces: a fresh run
 # must stay within ±25% ns/op of the committed BENCH_sweep.json and must
-# never increase allocs/op. Custom metrics (points/s) drift prints as a
-# note. Refresh with `make bench-sweep-json` on intentional changes.
+# never increase allocs/op. The sweep engine's custom metrics are declared
+# contracts, not notes: points/s and the predictor's evalreduction must
+# not regress beyond the tolerance, and fullevals (the predicted search's
+# full-evaluation budget, deterministic) must not grow. Refresh with
+# `make bench-sweep-json` on intentional changes.
 bench-sweep-gate:
 	$(GO) test -run='^$$' -bench=BenchmarkSweep -benchmem -count=5 -benchtime=2000x \
-		./internal/sweep | $(GO) run ./cmd/benchjson -compare BENCH_sweep.json -tolerance 0.25
+		./internal/sweep | $(GO) run ./cmd/benchjson -compare BENCH_sweep.json -tolerance 0.25 \
+		-gate-metrics 'points/s,evalreduction,fullevals:lower'
 
 # bench-experiments times the full experiment suite without a cache, with a
 # cold cache, and against the warm cache, recording the wall-clock numbers
@@ -131,6 +135,19 @@ chaos:
 	rm -rf /tmp/greengpu-chaos /tmp/greengpu-chaos-seq /tmp/greengpu-chaos-par \
 		/tmp/greengpu-chaos-seq.txt /tmp/greengpu-chaos-par.txt
 
+# predict-gate regenerates the prediction validation study and checks it
+# against CI's accuracy thresholds (see cmd/predictgate): every sweet spot
+# within one ladder step of brute force or within 5% measured energy
+# regret, and median relative energy prediction error within 5%. The
+# regenerated CSV must also match the committed results/ copy, so the gate
+# fails when the predictor drifts even inside the thresholds.
+predict-gate:
+	rm -rf /tmp/greengpu-predict
+	$(GO) run ./cmd/experiments -run predict -jobs 8 -out /tmp/greengpu-predict > /dev/null
+	diff /tmp/greengpu-predict/predict_validation.csv results/predict_validation.csv
+	$(GO) run ./cmd/predictgate /tmp/greengpu-predict/predict_validation.csv
+	rm -rf /tmp/greengpu-predict
+
 # lint-docs enforces godoc hygiene on every exported identifier (see
 # cmd/lintdocs); linkcheck verifies the relative links in the markdown docs
 # (see cmd/linkcheck).
@@ -140,4 +157,4 @@ lint-docs:
 linkcheck:
 	$(GO) run ./cmd/linkcheck README.md DESIGN.md ROADMAP.md CHANGES.md docs
 
-check: fmtcheck vet build race bench determinism chaos bench-gate bench-sweep-gate lint-docs linkcheck
+check: fmtcheck vet build race bench determinism chaos bench-gate bench-sweep-gate predict-gate lint-docs linkcheck

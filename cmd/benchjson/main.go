@@ -13,6 +13,15 @@
 //
 //	go test -bench=. -benchmem ./internal/sim | benchjson -compare BENCH_sim.json
 //
+// Custom metrics (b.ReportMetric output) normally drift freely — they
+// carry no universal better-direction, so changes print as notes. A
+// benchmark suite that treats specific metrics as contracts declares them
+// with -gate-metrics, promoting out-of-tolerance regressions on those
+// units to hard failures. Each entry is a unit name, higher-is-better by
+// default, with an optional :lower suffix for cost-like metrics:
+//
+//	... | benchjson -compare BENCH_sweep.json -gate-metrics 'points/s,fullevals:lower'
+//
 // The parser understands the standard benchmark line format
 //
 //	BenchmarkName-8   1000000   123.4 ns/op   16 B/op   2 allocs/op
@@ -58,8 +67,14 @@ type Report struct {
 func main() {
 	compareFile := flag.String("compare", "", "baseline JSON to gate against instead of emitting JSON")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op slowdown vs the baseline (with -compare)")
+	gateMetrics := flag.String("gate-metrics", "", "comma-separated custom metric units whose regressions fail the gate (with -compare); append :lower for lower-is-better units, e.g. 'points/s,fullevals:lower'")
 	flag.Parse()
 
+	gated, err := parseGateMetrics(*gateMetrics)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
 	rep, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -73,7 +88,7 @@ func main() {
 			os.Exit(1)
 		}
 		aggregate(base)
-		failures := compare(base, rep, *tolerance, os.Stdout)
+		failures := compare(base, rep, *tolerance, gated, os.Stdout)
 		if failures > 0 {
 			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark regression(s) vs %s\n", failures, *compareFile)
 			os.Exit(1)
@@ -127,6 +142,34 @@ func loadReport(path string) (*Report, error) {
 	return &rep, nil
 }
 
+// parseGateMetrics parses the -gate-metrics spec into a unit → higher-is-
+// better map. An empty spec returns an empty map (no custom metric gates).
+func parseGateMetrics(spec string) (map[string]bool, error) {
+	gated := map[string]bool{}
+	if spec == "" {
+		return gated, nil
+	}
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		unit, higher := entry, true
+		if i := strings.LastIndex(entry, ":"); i >= 0 {
+			switch dir := entry[i+1:]; dir {
+			case "higher":
+			case "lower":
+				higher = false
+			default:
+				return nil, fmt.Errorf("-gate-metrics %q: direction must be higher or lower, got %q", entry, dir)
+			}
+			unit = entry[:i]
+		}
+		if unit == "" {
+			return nil, fmt.Errorf("-gate-metrics: empty unit in %q", spec)
+		}
+		gated[unit] = higher
+	}
+	return gated, nil
+}
+
 // compare gates a fresh run against the committed baseline and returns the
 // number of failures. Policy: ns/op may drift up to the given fraction
 // above the baseline (micro-benchmarks are noisy); any allocs/op increase
@@ -134,8 +177,10 @@ func loadReport(path string) (*Report, error) {
 // real escape, never noise); a baseline benchmark missing from the run
 // fails (a silently shrinking gate protects nothing). Speedups beyond the
 // tolerance and new benchmarks are flagged as reminders to refresh the
-// baseline, not failures.
-func compare(base, cur *Report, tolerance float64, w io.Writer) int {
+// baseline, not failures. Custom metrics declared in gated (unit →
+// higher-is-better) are contracts: a regression beyond the tolerance in
+// the declared direction fails; everything else stays a note.
+func compare(base, cur *Report, tolerance float64, gated map[string]bool, w io.Writer) int {
 	type key struct{ pkg, name string }
 	current := map[key]Result{}
 	for _, b := range cur.Benchmarks {
@@ -174,8 +219,10 @@ func compare(base, cur *Report, tolerance float64, w io.Writer) int {
 		}
 		// Custom metrics (b.ReportMetric output, e.g. points/s) carry no
 		// universal better-direction, so drift beyond the tolerance is
-		// reported as a note, never a failure — the gate stays ns/op and
-		// allocs/op. Units are visited in sorted order for stable output.
+		// reported as a note — unless the unit is declared in gated, in
+		// which case a regression in the declared direction is a hard
+		// failure (a throughput contract, like the sweep engine's
+		// points/s). Units are visited in sorted order for stable output.
 		units := make([]string, 0, len(b.Metrics))
 		for unit := range b.Metrics {
 			units = append(units, unit)
@@ -185,12 +232,28 @@ func compare(base, cur *Report, tolerance float64, w io.Writer) int {
 			bv := b.Metrics[unit]
 			gv, ok := got.Metrics[unit]
 			if !ok || bv == 0 {
+				if _, declared := gated[unit]; declared && !ok {
+					fail("%s %s: baseline records %s but this run did not report it",
+						b.Pkg, b.Name, unit)
+				}
 				continue
 			}
-			if r := gv / bv; r > 1+tolerance || r < 1-tolerance {
-				fmt.Fprintf(w, "note  %s %s: %.6g %s vs baseline %.6g (%+.0f%%)\n",
-					b.Pkg, b.Name, gv, unit, bv, (r-1)*100)
+			r := gv / bv
+			if r <= 1+tolerance && r >= 1-tolerance {
+				continue
 			}
+			if higher, declared := gated[unit]; declared {
+				if regressed := (higher && r < 1) || (!higher && r > 1); regressed {
+					fail("%s %s: %.6g %s vs baseline %.6g (%+.0f%%, declared gate metric, tolerance %.0f%%)",
+						b.Pkg, b.Name, gv, unit, bv, (r-1)*100, tolerance*100)
+					continue
+				}
+				fmt.Fprintf(w, "note  %s %s: %.6g %s vs baseline %.6g (%+.0f%% better — refresh the baseline)\n",
+					b.Pkg, b.Name, gv, unit, bv, (r-1)*100)
+				continue
+			}
+			fmt.Fprintf(w, "note  %s %s: %.6g %s vs baseline %.6g (%+.0f%%)\n",
+				b.Pkg, b.Name, gv, unit, bv, (r-1)*100)
 		}
 	}
 	for _, b := range cur.Benchmarks {

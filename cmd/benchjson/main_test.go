@@ -98,6 +98,11 @@ func TestParseBenchLineShapes(t *testing.T) {
 // the failure count and report output.
 func gate(t *testing.T, baseText, curText string, tolerance float64) (int, string) {
 	t.Helper()
+	return gateMetrics(t, baseText, curText, tolerance, nil)
+}
+
+func gateMetrics(t *testing.T, baseText, curText string, tolerance float64, gated map[string]bool) (int, string) {
+	t.Helper()
 	base, err := parse(strings.NewReader(baseText))
 	if err != nil {
 		t.Fatal(err)
@@ -107,7 +112,7 @@ func gate(t *testing.T, baseText, curText string, tolerance float64) (int, strin
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	n := compare(base, cur, tolerance, &out)
+	n := compare(base, cur, tolerance, gated, &out)
 	return n, out.String()
 }
 
@@ -222,5 +227,79 @@ func TestCompareCustomMetricDriftIsNote(t *testing.T) {
 	quiet := "pkg: p\nBenchmarkA-8 100 100.0 ns/op 490000 points/s\n"
 	if _, out := gate(t, base, quiet, 0.25); strings.Contains(out, "points/s") {
 		t.Errorf("in-tolerance metric noted:\n%s", out)
+	}
+}
+
+func TestCompareDeclaredMetricRegressionFails(t *testing.T) {
+	base := "pkg: p\nBenchmarkA-8 100 100.0 ns/op 500000 points/s\n"
+	cur := "pkg: p\nBenchmarkA-8 100 100.0 ns/op 200000 points/s\n" // -60%
+	gated := map[string]bool{"points/s": true}
+	n, out := gateMetrics(t, base, cur, 0.25, gated)
+	if n != 1 {
+		t.Fatalf("failures = %d, want 1 for a -60%% declared metric:\n%s", n, out)
+	}
+	if !strings.Contains(out, "declared gate metric") {
+		t.Errorf("failure does not name the declared gate:\n%s", out)
+	}
+	// Within tolerance stays fine; improvements beyond tolerance are notes.
+	ok := "pkg: p\nBenchmarkA-8 100 100.0 ns/op 450000 points/s\n"
+	if n, out := gateMetrics(t, base, ok, 0.25, gated); n != 0 {
+		t.Fatalf("in-tolerance declared metric failed (%d):\n%s", n, out)
+	}
+	fast := "pkg: p\nBenchmarkA-8 100 100.0 ns/op 900000 points/s\n"
+	n, out = gateMetrics(t, base, fast, 0.25, gated)
+	if n != 0 || !strings.Contains(out, "refresh the baseline") {
+		t.Errorf("declared-metric improvement should be a refresh note (%d):\n%s", n, out)
+	}
+}
+
+func TestCompareDeclaredLowerBetterMetric(t *testing.T) {
+	base := "pkg: p\nBenchmarkA-8 100 100.0 ns/op 9.0 fullevals\n"
+	gated := map[string]bool{"fullevals": false}
+	worse := "pkg: p\nBenchmarkA-8 100 100.0 ns/op 36.0 fullevals\n"
+	if n, out := gateMetrics(t, base, worse, 0.25, gated); n != 1 {
+		t.Fatalf("failures = %d, want 1 for a 4x cost metric:\n%s", n, out)
+	}
+	better := "pkg: p\nBenchmarkA-8 100 100.0 ns/op 5.0 fullevals\n"
+	if n, out := gateMetrics(t, base, better, 0.25, gated); n != 0 {
+		t.Fatalf("cost-metric improvement failed (%d):\n%s", n, out)
+	}
+}
+
+func TestCompareDeclaredMetricMissingFromRunFails(t *testing.T) {
+	base := "pkg: p\nBenchmarkA-8 100 100.0 ns/op 500000 points/s\n"
+	cur := "pkg: p\nBenchmarkA-8 100 100.0 ns/op\n"
+	gated := map[string]bool{"points/s": true}
+	if n, out := gateMetrics(t, base, cur, 0.25, gated); n != 1 {
+		t.Fatalf("failures = %d, want 1 for a vanished declared metric:\n%s", n, out)
+	}
+	// Undeclared metrics may still vanish silently.
+	if n, out := gateMetrics(t, base, cur, 0.25, nil); n != 0 {
+		t.Fatalf("undeclared vanished metric failed (%d):\n%s", n, out)
+	}
+}
+
+func TestParseGateMetrics(t *testing.T) {
+	gated, err := parseGateMetrics("points/s,fullevals:lower, evalreduction:higher")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"points/s": true, "fullevals": false, "evalreduction": true}
+	if len(gated) != len(want) {
+		t.Fatalf("gated = %v, want %v", gated, want)
+	}
+	for unit, higher := range want {
+		if got, ok := gated[unit]; !ok || got != higher {
+			t.Errorf("gated[%q] = %v,%v, want %v", unit, got, ok, higher)
+		}
+	}
+	if g, err := parseGateMetrics(""); err != nil || len(g) != 0 {
+		t.Errorf("empty spec: %v, %v", g, err)
+	}
+	if _, err := parseGateMetrics("points/s:sideways"); err == nil {
+		t.Error("bad direction accepted")
+	}
+	if _, err := parseGateMetrics(":lower"); err == nil {
+		t.Error("empty unit accepted")
 	}
 }

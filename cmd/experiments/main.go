@@ -10,7 +10,7 @@
 //	experiments -jobs 1             # force sequential execution
 //
 // Experiment ids: fig1, fig2, fig5, fig6, fig7, fig8, table2, sweep,
-// sweetspot, ablations, extensions, resilience, all.
+// sweetspot, predict, ablations, extensions, resilience, all.
 //
 // Ad-hoc batch sweeps bypass the predefined studies: -sweep takes a
 // key=value spec (see internal/sweep.ParseSpec) and evaluates the whole
@@ -21,6 +21,17 @@
 //
 //	experiments -sweep 'workloads=kmeans core=all mem=all iters=4'
 //	experiments -sweep 'draws=100 seed=2012 mode=holistic' -out results
+//
+// -predict takes the same ladder spec but finds each workload's sweet
+// spot analytically (see internal/predict and docs/PERF.md "Prediction"):
+// a cross-frequency model fitted from a few anchor evaluations ranks the
+// ladder in closed form and only the top candidates are verified,
+// emitting one predict_spots table instead of the full cross product.
+// -predict-strategy and -predict-topm select the anchor placement and the
+// verification budget:
+//
+//	experiments -predict 'workloads=kmeans core=all mem=all iters=4'
+//	experiments -predict 'workloads=all' -predict-strategy adaptive -predict-topm 12
 //
 // Every experiment point runs on a fresh simulated machine with
 // deterministic seeding, so the output is byte-identical for every -jobs
@@ -88,6 +99,7 @@ import (
 
 	"greengpu/internal/experiments"
 	"greengpu/internal/faultinject"
+	"greengpu/internal/predict"
 	"greengpu/internal/runcache"
 	"greengpu/internal/sweep"
 	"greengpu/internal/telemetry"
@@ -98,28 +110,34 @@ import (
 // by registerFlags lets tests parse argument lists without touching the
 // process-global flag.CommandLine.
 type options struct {
-	run           string
-	sweep         string
-	out           string
-	markdown      bool
-	jobs          int
-	cpuprofile    string
-	memprofile    string
-	noCache       bool
-	cacheDir      string
-	cacheMaxBytes int64
-	benchCache    string
-	faults        string
-	metrics       string
-	metricsJSON   string
-	flightRec     int
-	flightOut     string
+	run             string
+	sweep           string
+	predict         string
+	predictStrategy string
+	predictTopM     int
+	out             string
+	markdown        bool
+	jobs            int
+	cpuprofile      string
+	memprofile      string
+	noCache         bool
+	cacheDir        string
+	cacheMaxBytes   int64
+	benchCache      string
+	faults          string
+	metrics         string
+	metricsJSON     string
+	flightRec       int
+	flightOut       string
 }
 
 func registerFlags(fs *flag.FlagSet) *options {
 	o := &options{}
-	fs.StringVar(&o.run, "run", "all", "comma-separated experiment ids (fig1 fig2 fig5 fig6 fig7 fig8 table2 sweep sweetspot ablations extensions resilience all)")
+	fs.StringVar(&o.run, "run", "all", "comma-separated experiment ids (fig1 fig2 fig5 fig6 fig7 fig8 table2 sweep sweetspot predict ablations extensions resilience all)")
 	fs.StringVar(&o.sweep, "sweep", "", "run an ad-hoc batch sweep instead of -run: whitespace-separated key=value spec (see internal/sweep.ParseSpec), e.g. 'workloads=kmeans core=all mem=all iters=4'")
+	fs.StringVar(&o.predict, "predict", "", "find sweet spots analytically instead of -run: a -sweep style ladder spec evaluated with the O(anchors) search (see internal/predict)")
+	fs.StringVar(&o.predictStrategy, "predict-strategy", "corners", "anchor placement for -predict: corners, doptimal or adaptive")
+	fs.IntVar(&o.predictTopM, "predict-topm", 0, "model-ranked candidates -predict verifies by full evaluation (0 = default, negative = trust the model unverified)")
 	fs.StringVar(&o.out, "out", "", "directory for CSV output (empty = none)")
 	fs.BoolVar(&o.markdown, "markdown", false, "render tables as GitHub markdown instead of aligned text")
 	fs.IntVar(&o.jobs, "jobs", 0, "concurrent experiment points (0 = one per CPU, 1 = sequential)")
@@ -196,8 +214,17 @@ func run(o *options, stdout, stderr io.Writer) (err error) {
 		}
 	}
 
-	if o.sweep != "" {
-		if err := runSweep(o.sweep, env, r); err != nil {
+	if o.sweep != "" && o.predict != "" {
+		return fmt.Errorf("-sweep and -predict are mutually exclusive")
+	}
+	if o.sweep != "" || o.predict != "" {
+		var err error
+		if o.sweep != "" {
+			err = runSweep(o.sweep, env, r)
+		} else {
+			err = runPredict(o, env, r)
+		}
+		if err != nil {
 			return err
 		}
 		if env.Cache != nil {
@@ -304,6 +331,36 @@ func runSweep(specText string, env *experiments.Env, r *runner) error {
 		return err
 	}
 	return r.emit("sweep_points", sweep.Table(eng, results))
+}
+
+// runPredict parses the -predict ladder spec and finds each selected
+// workload's sweet spot through the analytic O(anchors) search instead of
+// the full cross product, emitting one "predict_spots" table. The engine
+// shares the environment's run cache and chaos plan like -sweep does.
+func runPredict(o *options, env *experiments.Env, r *runner) error {
+	spec, err := sweep.ParseSpec(o.predict)
+	if err != nil {
+		return err
+	}
+	strategy, err := predict.ParseStrategy(o.predictStrategy)
+	if err != nil {
+		return err
+	}
+	opts := predict.Options{Strategy: strategy, TopM: o.predictTopM}
+	eng := &sweep.Engine{
+		GPU:       env.GPUConfig,
+		CPU:       env.CPUConfig,
+		Bus:       env.BusConfig,
+		Profiles:  env.Profiles,
+		Jobs:      env.Jobs,
+		Cache:     env.Cache,
+		FaultPlan: env.FaultPlan,
+	}
+	spots, err := eng.PredictSweetSpots(spec, opts)
+	if err != nil {
+		return err
+	}
+	return r.emit("predict_spots", sweep.SpotsTable(eng, opts, spots))
 }
 
 // chaosSeed seeds the -faults default ambient plan. Fixed, so chaos runs
@@ -485,7 +542,7 @@ func startProfiles(cpu, mem string) (stop func() error, err error) {
 
 // allIDs is the "all" suite, in the order the paper presents it; the
 // post-paper studies (ablations, extensions, resilience) follow.
-var allIDs = []string{"table2", "fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "sweep", "sweetspot", "ablations", "extensions", "resilience"}
+var allIDs = []string{"table2", "fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "sweep", "sweetspot", "predict", "ablations", "extensions", "resilience"}
 
 // handlers routes experiment ids to their runners. Keeping the dispatch
 // table explicit (rather than a switch) lets tests verify the id set
@@ -567,6 +624,15 @@ var handlers = map[string]func(*runner) error{
 		// Emitted as sweep_sweetspot.csv: the file names the study family,
 		// the id stays short for -run.
 		return r.emit("sweep_sweetspot", experiments.SweetSpotTable(rows))
+	},
+	"predict": func(r *runner) error {
+		rows, err := r.env.PredictValidation()
+		if err != nil {
+			return err
+		}
+		// Emitted as predict_validation.csv — the CSV cmd/predictgate
+		// checks in CI.
+		return r.emit("predict_validation", experiments.PredictValidationTable(rows))
 	},
 	"ablations": func(r *runner) error {
 		tables, err := r.env.AblationTables("kmeans")

@@ -42,6 +42,8 @@ func TestRegisterFlagsRoundTrip(t *testing.T) {
 	args := []string{
 		"-run", "fig1,fig2",
 		"-sweep", "workloads=kmeans",
+		"-predict-strategy", "adaptive",
+		"-predict-topm", "12",
 		"-out", "res",
 		"-markdown",
 		"-jobs", "3",
@@ -60,7 +62,9 @@ func TestRegisterFlagsRoundTrip(t *testing.T) {
 	if err := fs.Parse(args); err != nil {
 		t.Fatalf("Parse: %v", err)
 	}
-	want := options{run: "fig1,fig2", sweep: "workloads=kmeans", out: "res", markdown: true, jobs: 3,
+	want := options{run: "fig1,fig2", sweep: "workloads=kmeans",
+		predictStrategy: "adaptive", predictTopM: 12,
+		out: "res", markdown: true, jobs: 3,
 		cpuprofile: "cpu.out", memprofile: "mem.out",
 		noCache: true, cacheDir: ".cache", cacheMaxBytes: 1048576, benchCache: "bench.json",
 		faults: "default", metrics: "m.prom", metricsJSON: "m.json",
@@ -76,12 +80,12 @@ func TestRegisterFlagsDefaults(t *testing.T) {
 	if err := fs.Parse(nil); err != nil {
 		t.Fatalf("Parse: %v", err)
 	}
-	want := options{run: "all", faults: "off"}
+	want := options{run: "all", faults: "off", predictStrategy: "corners"}
 	if *o != want {
 		t.Errorf("default options = %+v, want %+v", *o, want)
 	}
 	// Every option field must be reachable from the command line.
-	for _, name := range []string{"run", "sweep", "out", "markdown", "jobs", "cpuprofile", "memprofile", "no-cache", "cache-dir", "cache-max-bytes", "bench-cache", "faults", "metrics", "metrics-json", "flight-recorder", "flight-recorder-out"} {
+	for _, name := range []string{"run", "sweep", "predict", "predict-strategy", "predict-topm", "out", "markdown", "jobs", "cpuprofile", "memprofile", "no-cache", "cache-dir", "cache-max-bytes", "bench-cache", "faults", "metrics", "metrics-json", "flight-recorder", "flight-recorder-out"} {
 		if fs.Lookup(name) == nil {
 			t.Errorf("flag -%s not registered", name)
 		}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+const header = "ladder,workload,points,full_evals,spot_core_mhz,spot_mem_mhz," +
+	"brute_core_mhz,brute_mem_mhz,spot_dist,energy_regret,med_rel_time," +
+	"max_rel_time,med_rel_energy,max_rel_energy,spearman_energy\n"
+
+func writeCSV(t *testing.T, rows ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "predict_validation.csv")
+	if err := os.WriteFile(path, []byte(header+strings.Join(rows, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runGate(t *testing.T, path string) (int, string) {
+	t.Helper()
+	var out strings.Builder
+	n, err := gate(path, 1, 0.05, 0.05, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, out.String()
+}
+
+func row(ladder, workload string, dist int, regret, medRelE float64) string {
+	return strings.Join([]string{
+		ladder, workload, "36", "17", "411", "500", "411", "500",
+		strconv.Itoa(dist), strconv.FormatFloat(regret, 'f', 6, 64),
+		"0.001", "0.002", strconv.FormatFloat(medRelE, 'f', 6, 64), "0.01", "0.99",
+	}, ",") + "\n"
+}
+
+func TestGatePassesInThresholdRows(t *testing.T) {
+	path := writeCSV(t,
+		row("6x6", "kmeans", 0, 0, 0.001),
+		row("24x24", "streamcluster", 10, 0.017, 0.02), // deep spot saved by regret
+		row("24x24", "nbody", 1, 0.002, 0.004),
+	)
+	n, out := runGate(t, path)
+	if n != 0 {
+		t.Fatalf("failures = %d, want 0:\n%s", n, out)
+	}
+	if !strings.Contains(out, "ok    3 rows") {
+		t.Errorf("no summary line:\n%s", out)
+	}
+}
+
+func TestGateFailsDeepSpotWithRealRegret(t *testing.T) {
+	path := writeCSV(t, row("24x24", "QG", 5, 0.08, 0.02))
+	n, out := runGate(t, path)
+	if n != 1 || !strings.Contains(out, "FAIL") {
+		t.Fatalf("failures = %d, want 1:\n%s", n, out)
+	}
+}
+
+func TestGateFailsBadModelError(t *testing.T) {
+	path := writeCSV(t, row("6x6", "bfs", 0, 0, 0.09))
+	if n, out := runGate(t, path); n != 1 {
+		t.Fatalf("failures = %d, want 1 for med_rel_energy 9%%:\n%s", n, out)
+	}
+}
+
+func TestGateRejectsMissingColumn(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.csv")
+	if err := os.WriteFile(path, []byte("ladder,workload\n6x6,kmeans\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if _, err := gate(path, 1, 0.05, 0.05, &out); err == nil {
+		t.Fatal("missing columns accepted")
+	}
+}
+
+func TestGateAgainstCommittedCSV(t *testing.T) {
+	// The committed study output must always pass CI's exact thresholds.
+	path := filepath.Join("..", "..", "results", "predict_validation.csv")
+	if _, err := os.Stat(path); err != nil {
+		t.Skipf("committed CSV not present: %v", err)
+	}
+	n, out := runGate(t, path)
+	if n != 0 {
+		t.Fatalf("committed CSV fails the gate:\n%s", out)
+	}
+}

@@ -148,6 +148,26 @@ func PreferredPair(coreLevels, memLevels []units.Frequency, p Params, uCore, uMe
 	}
 }
 
+// PairDistance returns the ladder distance between two level pairs: the
+// Chebyshev metric max(|Δcore|, |Δmem|), in ladder steps. A distance of 0
+// is the same pair; 1 means both domains are within one level — the
+// "sweet-spot error ≤ 1 ladder step" criterion the prediction validation
+// gate enforces (see cmd/predictgate).
+func PairDistance(a, b Decision) int {
+	dc := a.CoreLevel - b.CoreLevel
+	if dc < 0 {
+		dc = -dc
+	}
+	dm := a.MemLevel - b.MemLevel
+	if dm < 0 {
+		dm = -dm
+	}
+	if dm > dc {
+		return dm
+	}
+	return dc
+}
+
 // weightTable abstracts the WMA storage so the scaler can run on either
 // the float table or the §VI-style 8-bit fixed-point table.
 type weightTable interface {

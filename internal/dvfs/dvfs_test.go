@@ -417,6 +417,30 @@ func TestPreferredPairMatchesScaler(t *testing.T) {
 	}
 }
 
+// TestPairDistance pins the Chebyshev ladder metric used by the
+// prediction-accuracy gate.
+func TestPairDistance(t *testing.T) {
+	for _, tc := range []struct {
+		a, b Decision
+		want int
+	}{
+		{Decision{CoreLevel: 0, MemLevel: 0}, Decision{CoreLevel: 0, MemLevel: 0}, 0},
+		{Decision{CoreLevel: 3, MemLevel: 2}, Decision{CoreLevel: 3, MemLevel: 2}, 0},
+		{Decision{CoreLevel: 1, MemLevel: 0}, Decision{CoreLevel: 0, MemLevel: 0}, 1},
+		{Decision{CoreLevel: 0, MemLevel: 5}, Decision{CoreLevel: 0, MemLevel: 1}, 4},
+		{Decision{CoreLevel: 2, MemLevel: 5}, Decision{CoreLevel: 5, MemLevel: 4}, 3},
+		{Decision{CoreLevel: 5, MemLevel: 0}, Decision{CoreLevel: 0, MemLevel: 5}, 5},
+	} {
+		if got := PairDistance(tc.a, tc.b); got != tc.want {
+			t.Errorf("PairDistance(%+v, %+v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+		// The metric is symmetric by construction; pin it anyway.
+		if got := PairDistance(tc.b, tc.a); got != tc.want {
+			t.Errorf("PairDistance(%+v, %+v) = %d, want %d (symmetry)", tc.b, tc.a, got, tc.want)
+		}
+	}
+}
+
 // TestPreferredPairSingleLevel covers degenerate one-level ladders.
 func TestPreferredPairSingleLevel(t *testing.T) {
 	one := []units.Frequency{500 * units.Megahertz}

@@ -1,0 +1,98 @@
+package predict
+
+import (
+	"math"
+	"sort"
+)
+
+// RelErr returns the relative error |pred − ref| / |ref|, or the absolute
+// error when ref is zero (a zero-reference point would otherwise make every
+// aggregate infinite).
+func RelErr(pred, ref float64) float64 {
+	d := math.Abs(pred - ref)
+	if ref == 0 {
+		return d
+	}
+	return d / math.Abs(ref)
+}
+
+// Median returns the median of xs (mean of the middle pair for even
+// lengths), NaN for an empty slice. The input is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// Max returns the maximum of xs, NaN for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Spearman returns the Spearman rank-correlation coefficient between a and
+// b (Pearson correlation of their average-tie ranks): 1 means the model
+// orders the ladder exactly like the measurements, which is all a sweet-spot
+// search needs. Slices must have equal length; degenerate inputs (fewer
+// than two points, or a constant series) return NaN.
+func Spearman(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return math.NaN()
+	}
+	ra, rb := ranks(a), ranks(b)
+	var ma, mb float64
+	for i := range ra {
+		ma += ra[i]
+		mb += rb[i]
+	}
+	ma /= float64(len(ra))
+	mb /= float64(len(rb))
+	var num, da, db float64
+	for i := range ra {
+		x, y := ra[i]-ma, rb[i]-mb
+		num += x * y
+		da += x * x
+		db += y * y
+	}
+	if da == 0 || db == 0 {
+		return math.NaN()
+	}
+	return num / math.Sqrt(da*db)
+}
+
+// ranks assigns 1-based ranks with ties sharing their average rank.
+func ranks(xs []float64) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool { return xs[idx[i]] < xs[idx[j]] })
+	out := make([]float64, len(xs))
+	for i := 0; i < len(idx); {
+		j := i
+		for j+1 < len(idx) && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}

@@ -15,6 +15,7 @@ import (
 
 	"greengpu/internal/core"
 	"greengpu/internal/division"
+	"greengpu/internal/predict"
 	"greengpu/internal/telemetry"
 )
 
@@ -48,6 +49,13 @@ type Value struct {
 	// when the run flavour had meter 2 attached (KeyOf variant
 	// distinguishes metered from plain runs). Nil for plain runs.
 	GPUPower []float64
+	// Predict is the memoized outcome of an analytic sweet-spot search
+	// (internal/predict) over a whole ladder, stored under a "predict:"
+	// KeyOf variant. Nil for per-point entries. The search's anchor and
+	// verification evaluations flow through the ordinary per-point cache,
+	// so a warm Predict entry replays the same outcome the cold search
+	// computed — including its deterministic FullEvals request count.
+	Predict *predict.Outcome
 }
 
 // clone deep-copies the value. Cached results are immutable by contract:
@@ -61,6 +69,11 @@ func (v Value) clone() Value {
 		r.Iterations = append([]core.IterationStats(nil), v.Result.Iterations...)
 		r.DivisionHistory = append([]division.Observation(nil), v.Result.DivisionHistory...)
 		out.Result = &r
+	}
+	if v.Predict != nil {
+		p := *v.Predict
+		p.Coeffs = append([]float64(nil), v.Predict.Coeffs...)
+		out.Predict = &p
 	}
 	return out
 }

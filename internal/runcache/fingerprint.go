@@ -68,7 +68,7 @@ import (
 // or power model edits, calibration changes, encoding changes, or new
 // fields on any encoded struct. Old disk entries are then simply never
 // looked up again (they live under the previous version's directory).
-const SchemaVersion = 2
+const SchemaVersion = 3
 
 // Key identifies one simulation point: a SHA-256 digest of the canonical
 // encoding. It is comparable and usable as a map key.

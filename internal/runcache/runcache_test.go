@@ -18,6 +18,7 @@ import (
 	"greengpu/internal/dvfs"
 	"greengpu/internal/faultinject"
 	"greengpu/internal/gpusim"
+	"greengpu/internal/predict"
 	"greengpu/internal/telemetry"
 	"greengpu/internal/testbed"
 	"greengpu/internal/units"
@@ -66,6 +67,12 @@ func sampleValue() Value {
 			DVFSSteps: 7,
 		},
 		GPUPower: []float64{118.2, 120.1, 95.4},
+		Predict: &predict.Outcome{
+			Core: 3, Mem: 2, Verified: true,
+			FullEvals: 9, Points: 36,
+			Time: 3 * time.Second, Energy: 180,
+			Coeffs: []float64{1, 2, 3, 4, 5, 6, 7},
+		},
 	}
 }
 
@@ -350,6 +357,8 @@ func TestResultImmutability(t *testing.T) {
 	first.Result.Iterations[0].R = 99
 	first.Result.DivisionHistory[0].NewR = 99
 	first.GPUPower[0] = -1
+	first.Predict.Core = 99
+	first.Predict.Coeffs[0] = -1
 
 	second, err := c.Do(key, func() (Value, error) {
 		t.Fatal("hit recomputed")
@@ -370,8 +379,11 @@ func TestCloneCoversResultFields(t *testing.T) {
 	if n := reflect.TypeOf(core.Result{}).NumField(); n != 14 {
 		t.Errorf("core.Result has %d fields, clone was written for 14 — update Value.clone and this count", n)
 	}
-	if n := reflect.TypeOf(Value{}).NumField(); n != 2 {
-		t.Errorf("Value has %d fields, clone was written for 2 — update Value.clone and this count", n)
+	if n := reflect.TypeOf(Value{}).NumField(); n != 3 {
+		t.Errorf("Value has %d fields, clone was written for 3 — update Value.clone and this count", n)
+	}
+	if n := reflect.TypeOf(predict.Outcome{}).NumField(); n != 9 {
+		t.Errorf("predict.Outcome has %d fields, clone was written for 9 — update Value.clone and this count", n)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"greengpu/internal/core"
+	"greengpu/internal/predict"
 	"greengpu/internal/testbed"
 	"greengpu/internal/workload"
 )
@@ -33,6 +34,35 @@ func BenchmarkSweepBatched(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(len(pts)*b.N)/b.Elapsed().Seconds(), "points/s")
+}
+
+// BenchmarkSweepPredicted measures the analytic sweet-spot search on the
+// synthetic 24×24 ladder: anchors plus top-M verification instead of the
+// 576-point cross product. points/s counts ladder points *decided* per
+// second (the search's coverage), fullevals the deterministic number of
+// full evaluations one search requests, and evalreduction their ratio —
+// the committed BENCH_sweep.json pins evalreduction ≥ 50.
+func BenchmarkSweepPredicted(b *testing.B) {
+	e := denseEngine(b)
+	spec := Spec{Workloads: []string{"kmeans"}, Iterations: 4, CPULevel: -1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last SpotResult
+	for i := 0; i < b.N; i++ {
+		spots, err := e.PredictSweetSpots(spec, predict.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = spots[0]
+	}
+	b.StopTimer()
+	oc := last.Outcome
+	if !oc.Verified || oc.Fallback {
+		b.Fatalf("search did not verify: %+v", oc)
+	}
+	b.ReportMetric(float64(oc.Points*b.N)/b.Elapsed().Seconds(), "points/s")
+	b.ReportMetric(float64(oc.FullEvals), "fullevals")
+	b.ReportMetric(float64(oc.Points)/float64(oc.FullEvals), "evalreduction")
 }
 
 // BenchmarkSweepNaive measures the same 36 points evaluated the pre-batch

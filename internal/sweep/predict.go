@@ -1,0 +1,237 @@
+// Analytic sweet-spot prediction over sweep ladders: instead of evaluating
+// the full core×memory cross product, fit the cross-frequency model of
+// internal/predict from a handful of anchor points and verify only its
+// best-ranked candidates. Anchor and verification evaluations flow through
+// the ordinary point evaluator (closed form where expressible, run-cache
+// memoized), and the whole search outcome is itself memoized under a
+// "predict:" cache variant so warm runs replay the cold search's exact
+// decision — including its deterministic full-evaluation count.
+
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"greengpu/internal/core"
+	"greengpu/internal/cpusim"
+	"greengpu/internal/gpusim"
+	"greengpu/internal/predict"
+	"greengpu/internal/runcache"
+	"greengpu/internal/telemetry"
+	"greengpu/internal/trace"
+	"greengpu/internal/units"
+	"greengpu/internal/workload"
+)
+
+// SpotResult pairs one workload with its sweet-spot search outcome. Core
+// and Mem in the outcome are device-ladder indices (into Engine.GPU's
+// CoreLevels/MemLevels), even when the spec swept a sub-ladder.
+type SpotResult struct {
+	Workload string
+	Outcome  predict.Outcome
+}
+
+// PredictSweetSpots finds each selected workload's sweet spot with
+// O(anchors) full evaluations instead of the spec's full ladder cross
+// product. The spec selects workloads, mode, iterations and the ladder
+// subset exactly as Run does; Monte Carlo draw specs have no ladder to
+// search and are rejected.
+//
+// When the search's verified set contains the true optimum (the normal
+// case — a degenerate fit falls back to exhaustive evaluation), the
+// outcome is byte-identical to brute force: point evaluations share Run's
+// closed-form arithmetic and cache keys, and ties break in the exhaustive
+// studies' grid order.
+//
+// Each workload's search emits one flight-recorder record (Mode
+// "predict") when a recorder is installed, with Predicted set on
+// unverified (model-only) outcomes.
+func (e *Engine) PredictSweetSpots(spec Spec, opts predict.Options) ([]SpotResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Draws > 0 {
+		return nil, fmt.Errorf("sweep: predict needs a ladder spec, not Monte Carlo draws")
+	}
+	names := spec.Workloads
+	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
+		names = make([]string, len(e.Profiles))
+		for i, p := range e.Profiles {
+			names[i] = p.Name
+		}
+	}
+	cores, err := resolveLadder(spec.CoreLevels, len(e.GPU.CoreLevels), "core")
+	if err != nil {
+		return nil, err
+	}
+	mems, err := resolveLadder(spec.MemLevels, len(e.GPU.MemLevels), "mem")
+	if err != nil {
+		return nil, err
+	}
+	cpuLvl := spec.CPULevel
+	if cpuLvl == -1 {
+		cpuLvl = len(e.CPU.PStates) - 1
+	}
+	if cpuLvl >= len(e.CPU.PStates) {
+		return nil, fmt.Errorf("sweep: CPU P-state %d out of range [0,%d)", cpuLvl, len(e.CPU.PStates))
+	}
+	if err := e.Bus.Validate(); err != nil {
+		return nil, err
+	}
+	gt, err := gpusim.BuildTables(e.GPU)
+	if err != nil {
+		return nil, err
+	}
+	ct, err := cpusim.BuildTables(e.CPU)
+	if err != nil {
+		return nil, err
+	}
+	base := e.baseConfig(&spec)
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	baseFast := fastEligible(&base)
+
+	coreF := make([]units.Frequency, len(cores))
+	for i, c := range cores {
+		coreF[i] = e.GPU.CoreLevels[c]
+	}
+	memF := make([]units.Frequency, len(mems))
+	for i, m := range mems {
+		memF[i] = e.GPU.MemLevels[m]
+	}
+	variant := predictVariant(opts, cores, mems, cpuLvl)
+
+	out := make([]SpotResult, 0, len(names))
+	for _, n := range names {
+		prof, err := workload.ByName(e.Profiles, n)
+		if err != nil {
+			return nil, err
+		}
+		wt := newWorkloadTables(prof, gt, &e.Bus)
+		search := func() (predict.Outcome, error) {
+			oc, err := predict.SweetSpot(coreF, memF, func(ci, mi int) (predict.Sample, error) {
+				pt := Point{Workload: n, Draw: -1, Core: cores[ci], Mem: mems[mi], CPU: cpuLvl}
+				pr, err := e.evalPoint(&spec, &base, baseFast, wt, gt, ct, pt)
+				if err != nil {
+					return predict.Sample{}, err
+				}
+				return predict.Sample{Core: ci, Mem: mi,
+					Time: pr.Result.TotalTime, Energy: pr.Result.Energy}, nil
+			}, opts)
+			if err != nil {
+				return oc, err
+			}
+			// Map the resolved-ladder indices back onto the device ladder
+			// before the outcome is returned (or memoized).
+			oc.Core, oc.Mem = cores[oc.Core], mems[oc.Mem]
+			return oc, nil
+		}
+		oc, err := e.memoizedSearch(&base, wt.prof, variant, search)
+		if err != nil {
+			return nil, err
+		}
+		e.stampPredict(n, oc, cpuLvl)
+		out = append(out, SpotResult{Workload: n, Outcome: oc})
+	}
+	return out, nil
+}
+
+// memoizedSearch runs (or replays) one workload's search through the run
+// cache. The stored value is the whole outcome: anchors must stay in the
+// verified set (a corner anchor may be the optimum), so memoizing only the
+// fitted coefficients would change warm-run outcomes; memoizing the search
+// itself keeps warm and cold runs byte-identical.
+func (e *Engine) memoizedSearch(base *core.Config, prof *workload.Profile, variant string, search func() (predict.Outcome, error)) (predict.Outcome, error) {
+	if e.Cache == nil || !runcache.Cacheable(base) {
+		return search()
+	}
+	key := runcache.KeyOf(&e.GPU, &e.CPU, &e.Bus, prof, base, variant)
+	v, err := e.Cache.Do(key, func() (runcache.Value, error) {
+		oc, err := search()
+		if err != nil {
+			return runcache.Value{}, err
+		}
+		return runcache.Value{Predict: &oc}, nil
+	})
+	if err != nil {
+		return predict.Outcome{}, err
+	}
+	return *v.Predict, nil
+}
+
+// predictVariant names the search flavour for the run cache: everything
+// that shapes the outcome beyond the fingerprinted device/workload/config —
+// the anchor strategy, objective, verification budget and the swept
+// sub-ladder.
+func predictVariant(opts predict.Options, cores, mems []int, cpuLvl int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "predict:%s:%s:topm=%d:refine=%d:cpu=%d:cores=",
+		opts.Strategy, opts.Objective, opts.TopM, opts.MaxRefine, cpuLvl)
+	for i, c := range cores {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(c))
+	}
+	b.WriteString(":mems=")
+	for i, m := range mems {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(m))
+	}
+	return b.String()
+}
+
+// SpotsTable renders a PredictSweetSpots batch as one table, one row per
+// workload: the chosen pair, how it was decided (verified / model-only /
+// exhaustive fallback), and the evaluation economics.
+func SpotsTable(e *Engine, opts predict.Options, spots []SpotResult) *trace.Table {
+	t := trace.NewTable("Predicted sweet spots",
+		"workload", "strategy", "objective", "core_mhz", "mem_mhz",
+		"exec_s", "energy_j", "verified", "fallback",
+		"full_evals", "points", "eval_reduction")
+	for _, s := range spots {
+		oc := s.Outcome
+		t.AddRow(s.Workload, opts.Strategy.String(), opts.Objective.String(),
+			fmt.Sprintf("%.0f", e.GPU.CoreLevels[oc.Core].MHz()),
+			fmt.Sprintf("%.0f", e.GPU.MemLevels[oc.Mem].MHz()),
+			fmt.Sprintf("%.6f", oc.Time.Seconds()),
+			fmt.Sprintf("%.6f", oc.Energy.Joules()),
+			strconv.FormatBool(oc.Verified), strconv.FormatBool(oc.Fallback),
+			strconv.Itoa(oc.FullEvals), strconv.Itoa(oc.Points),
+			fmt.Sprintf("%.2f", float64(oc.Points)/float64(oc.FullEvals)))
+	}
+	return t
+}
+
+// stampPredict emits one flight-recorder record for a finished search:
+// the chosen levels, the predicted (or measured) runtime as the epoch
+// time, the implied average power, and the Predicted flag for outcomes
+// the model chose without simulation verification.
+func (e *Engine) stampPredict(name string, oc predict.Outcome, cpuLvl int) {
+	fr := telemetry.Recorder()
+	if fr == nil {
+		return
+	}
+	power := math.NaN()
+	if oc.Time > 0 {
+		power = oc.Energy.Joules() / oc.Time.Seconds()
+	}
+	fr.Record(telemetry.EpochRecord{
+		Workload:  name,
+		Mode:      "predict",
+		At:        oc.Time,
+		CoreLevel: oc.Core,
+		MemLevel:  oc.Mem,
+		CoreMHz:   e.GPU.CoreLevels[oc.Core].MHz(),
+		MemMHz:    e.GPU.MemLevels[oc.Mem].MHz(),
+		CPULevel:  cpuLvl,
+		PowerW:    power,
+		Predicted: !oc.Verified,
+	})
+}

@@ -63,6 +63,11 @@ type EpochRecord struct {
 	// Failsafe marks an epoch spent pinned at the watchdog's failsafe
 	// (peak) levels after consecutive transition failures.
 	Failsafe bool `json:"failsafe,omitempty"`
+	// Predicted marks a record whose levels came from the analytic
+	// cross-frequency model (internal/predict) without simulation
+	// verification. Records from full simulation — including predictor
+	// candidates that were verified by simulation — leave it false.
+	Predicted bool `json:"predicted,omitempty"`
 }
 
 // jsonFloat marshals non-finite values as null — JSON has no NaN/Inf, and a
@@ -103,6 +108,7 @@ func (e EpochRecord) MarshalJSON() ([]byte, error) {
 		Faults      uint64        `json:"faults,omitempty"`
 		Held        bool          `json:"held,omitempty"`
 		Failsafe    bool          `json:"failsafe,omitempty"`
+		Predicted   bool          `json:"predicted,omitempty"`
 	}
 	return json.Marshal(rec{
 		Seq:         e.Seq,
@@ -124,6 +130,7 @@ func (e EpochRecord) MarshalJSON() ([]byte, error) {
 		Faults:      e.Faults,
 		Held:        e.Held,
 		Failsafe:    e.Failsafe,
+		Predicted:   e.Predicted,
 	})
 }
 
@@ -207,14 +214,18 @@ func (r *FlightRecorder) Table(lastK int) *trace.Table {
 		"core", "MHz", "mem", "MHz", "cpu", "r", "power(W)", "hits", "misses",
 		"faults", "flags")
 	for _, e := range recs {
-		flags := "-"
-		switch {
-		case e.Held && e.Failsafe:
-			flags = "HF"
-		case e.Held:
-			flags = "H"
-		case e.Failsafe:
-			flags = "F"
+		flags := ""
+		if e.Held {
+			flags += "H"
+		}
+		if e.Failsafe {
+			flags += "F"
+		}
+		if e.Predicted {
+			flags += "P"
+		}
+		if flags == "" {
+			flags = "-"
 		}
 		t.AddRow(
 			fmt.Sprintf("%d", e.Seq),

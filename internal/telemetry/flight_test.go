@@ -99,6 +99,34 @@ func TestFlightRecorderTable(t *testing.T) {
 	}
 }
 
+// TestFlightRecorderTableFlags pins the flags column: H (held), F
+// (failsafe), P (predicted-only decision), composable, '-' when none.
+func TestFlightRecorderTableFlags(t *testing.T) {
+	for _, tc := range []struct {
+		rec  EpochRecord
+		want string
+	}{
+		{EpochRecord{}, "-"},
+		{EpochRecord{Held: true}, "H"},
+		{EpochRecord{Failsafe: true}, "F"},
+		{EpochRecord{Predicted: true}, "P"},
+		{EpochRecord{Held: true, Failsafe: true}, "HF"},
+		{EpochRecord{Held: true, Failsafe: true, Predicted: true}, "HFP"},
+	} {
+		fr := NewFlightRecorder(1)
+		fr.Record(tc.rec)
+		var b strings.Builder
+		if err := fr.Table(0).WriteText(&b); err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+		fields := strings.Fields(lines[len(lines)-1])
+		if got := fields[len(fields)-1]; got != tc.want {
+			t.Errorf("record %+v rendered flags %q, want %q", tc.rec, got, tc.want)
+		}
+	}
+}
+
 func TestFlightRecorderWriteJSON(t *testing.T) {
 	fr := NewFlightRecorder(4)
 	fr.Record(EpochRecord{Workload: "lud", Epoch: 7, UCore: 0.25})
@@ -126,7 +154,7 @@ func TestWriteJSONSurvivesNonFiniteSamples(t *testing.T) {
 		At:    9 * time.Second,
 		UCore: 0.9, UMem: 0.5, CoreLevel: 2, MemLevel: 1,
 		CoreMHz: 576, MemMHz: 900, CPULevel: 4, Ratio: 0.12, PowerW: 231.5,
-		Faults: 17, Held: true, Failsafe: true,
+		Faults: 17, Held: true, Failsafe: true, Predicted: true,
 	}
 	fr.Record(full)
 	fr.Record(EpochRecord{Workload: "kmeans", PowerW: math.NaN(), UCore: math.Inf(1)})

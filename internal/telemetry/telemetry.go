@@ -72,6 +72,17 @@ const (
 	MetricSweepFallback = "greengpu_sweep_fallback_total"
 	// MetricSweepBatches counts sweep batches (Engine.Run calls).
 	MetricSweepBatches = "greengpu_sweep_batches_total"
+	// MetricPredictFits counts analytic cross-frequency model fits.
+	MetricPredictFits = "greengpu_predict_fits_total"
+	// MetricPredictPoints counts ladder points evaluated in closed form by
+	// a fitted model.
+	MetricPredictPoints = "greengpu_predict_points_total"
+	// MetricPredictFullEvals counts full point evaluations requested by
+	// predictor searches (anchors, refinements, verification).
+	MetricPredictFullEvals = "greengpu_predict_full_evals_total"
+	// MetricPredictFallbacks counts predictor searches that fell back to
+	// exhaustive evaluation on a degenerate fit.
+	MetricPredictFallbacks = "greengpu_predict_fallbacks_total"
 )
 
 // metric is the registry's view of an instrument.

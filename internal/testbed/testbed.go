@@ -71,6 +71,38 @@ func GeForce8800GTX() gpusim.Config {
 	}
 }
 
+// GeForce8800GTXDense returns the testbed card with its two frequency
+// ladders re-quantized to nc core and nm memory levels, linearly
+// interpolated (at integer-MHz resolution) across the stock spans
+// 411–576 MHz and 500–900 MHz. The power and timing models are per-Hz,
+// so the dense card is physically the same device with a finer DVFS
+// quantization — the synthetic large ladder the predictor-validation
+// study brute-forces. nc and nm must be at least 2 (the stock endpoints
+// must survive); the first and last levels equal the stock ladder's.
+func GeForce8800GTXDense(nc, nm int) gpusim.Config {
+	if nc < 2 || nm < 2 {
+		panic("testbed: GeForce8800GTXDense needs at least 2 levels per ladder")
+	}
+	cfg := GeForce8800GTX()
+	cfg.Name = "GeForce 8800 GTX (dense ladder)"
+	cfg.CoreLevels = interpolateMHz(cfg.CoreLevels, nc)
+	cfg.MemLevels = interpolateMHz(cfg.MemLevels, nm)
+	return cfg
+}
+
+// interpolateMHz spreads n levels evenly (rounded to whole MHz) between
+// the first and last entries of a stock ladder.
+func interpolateMHz(stock []units.Frequency, n int) []units.Frequency {
+	lo := float64(stock[0]) / float64(units.Megahertz)
+	hi := float64(stock[len(stock)-1]) / float64(units.Megahertz)
+	out := make([]units.Frequency, n)
+	for i := range out {
+		mhz := lo + (hi-lo)*float64(i)/float64(n-1)
+		out[i] = units.Frequency(int(mhz+0.5)) * units.Megahertz
+	}
+	return out
+}
+
 // GTX280 returns a GTX 280-class GPU configuration: the next GeForce
 // generation after the testbed card (30 SMs × 8 SPs, 602 MHz peak core,
 // 512-bit GDDR3 at 1100 MHz ≈ 140.8 GB/s) with a proportionally heavier

@@ -64,6 +64,54 @@ func TestGPUPresetMatchesPaper(t *testing.T) {
 	}
 }
 
+// TestDenseLadderInterpolation pins the synthetic large-ladder card: stock
+// endpoints preserved, strictly increasing integer-MHz levels, valid config.
+func TestDenseLadderInterpolation(t *testing.T) {
+	g := GeForce8800GTXDense(24, 24)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("dense preset invalid: %v", err)
+	}
+	if len(g.CoreLevels) != 24 || len(g.MemLevels) != 24 {
+		t.Fatalf("ladder sizes = %dx%d, want 24x24", len(g.CoreLevels), len(g.MemLevels))
+	}
+	stock := GeForce8800GTX()
+	for _, tc := range []struct {
+		name     string
+		got, ref []units.Frequency
+	}{
+		{"core", g.CoreLevels, stock.CoreLevels},
+		{"mem", g.MemLevels, stock.MemLevels},
+	} {
+		if tc.got[0] != tc.ref[0] || tc.got[len(tc.got)-1] != tc.ref[len(tc.ref)-1] {
+			t.Errorf("%s endpoints %v..%v, want stock %v..%v",
+				tc.name, tc.got[0], tc.got[len(tc.got)-1], tc.ref[0], tc.ref[len(tc.ref)-1])
+		}
+		for i := 1; i < len(tc.got); i++ {
+			if tc.got[i] <= tc.got[i-1] {
+				t.Errorf("%s ladder not strictly increasing at %d: %v <= %v",
+					tc.name, i, tc.got[i], tc.got[i-1])
+			}
+		}
+		for _, f := range tc.got {
+			if mhz := f.MHz(); mhz != math.Trunc(mhz) {
+				t.Errorf("%s level %v not integer MHz", tc.name, f)
+			}
+		}
+	}
+	// nc=nm=2 degenerates to the two stock endpoints.
+	two := GeForce8800GTXDense(2, 2)
+	if two.CoreLevels[0] != stock.CoreLevels[0] || two.CoreLevels[1] != stock.CoreLevels[5] {
+		t.Errorf("2-level core ladder = %v", two.CoreLevels)
+	}
+	// Fewer than 2 levels must panic.
+	defer func() {
+		if recover() == nil {
+			t.Error("GeForce8800GTXDense(1, 6) did not panic")
+		}
+	}()
+	GeForce8800GTXDense(1, 6)
+}
+
 func TestCPUPresetMatchesPaper(t *testing.T) {
 	c := PhenomIIX2()
 	if c.Cores != 2 {
