@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: fmt fmtcheck vet build test race bench bench-stable bench-json bench-gate bench-sweep-json bench-sweep-gate bench-experiments golden determinism chaos predict-gate lint-docs linkcheck check
+.PHONY: fmt fmtcheck vet build test race bench bench-stable bench-json bench-gate bench-sweep-json bench-sweep-gate bench-fleet-json bench-fleet-gate bench-gates bench-experiments golden determinism chaos predict-gate lint-docs linkcheck check
 
 fmt:
 	gofmt -w .
@@ -79,6 +79,41 @@ bench-sweep-gate:
 	$(GO) test -run='^$$' -bench=BenchmarkSweep -benchmem -count=5 -benchtime=2000x \
 		./internal/sweep | $(GO) run ./cmd/benchjson -compare BENCH_sweep.json -tolerance 0.25 \
 		-gate-metrics 'points/s,evalreduction,fullevals:lower'
+
+# bench-fleet-json snapshots the fleet engine benchmarks — the
+# dedup-compressed 10k-node evaluation, its naive per-node baseline, and
+# the zero-allocation aggregation loop — as BENCH_fleet.json. The
+# committed copy is the throughput contract: BenchmarkFleetDedup's nodes/s
+# must be at least 50x BenchmarkFleetNaive's, and its dedupratio is
+# deterministic (see docs/PERF.md "Fleet"). The naive baseline runs
+# without -benchmem: at ~629k allocs/op its count flickers by ±1 from
+# runtime background allocation, which would flake the hard "no allocs/op
+# increase" gate; its ns/op and nodes/s stay gated.
+FLEET_BENCH = { $(GO) test -run='^$$' -bench='BenchmarkFleet(Dedup|Aggregate)' -benchmem \
+		-count=5 -benchtime=200x ./internal/fleet; \
+	$(GO) test -run='^$$' -bench=BenchmarkFleetNaive -count=5 -benchtime=20x ./internal/fleet; }
+
+bench-fleet-json:
+	$(FLEET_BENCH) | $(GO) run ./cmd/benchjson > BENCH_fleet.json
+
+# bench-fleet-gate is the fleet regression gate CI enforces: a fresh run
+# must stay within ±25% ns/op of the committed BENCH_fleet.json, must
+# never increase allocs/op, and must hold the declared nodes/s and
+# dedupratio contracts. Refresh with `make bench-fleet-json` on
+# intentional changes.
+bench-fleet-gate:
+	$(FLEET_BENCH) | $(GO) run ./cmd/benchjson -compare BENCH_fleet.json -tolerance 0.25 \
+		-gate-metrics 'nodes/s,dedupratio'
+
+# bench-gates runs the sweep and fleet benchmark suites once and checks
+# both committed baselines in a single combined benchjson gate — the
+# multi-file -compare form. One benchmark pass, one verdict, instead of
+# one gate invocation per file.
+bench-gates:
+	{ $(GO) test -run='^$$' -bench=BenchmarkSweep -benchmem -count=5 -benchtime=2000x ./internal/sweep; \
+	  $(FLEET_BENCH); } | \
+		$(GO) run ./cmd/benchjson -compare BENCH_sweep.json,BENCH_fleet.json -tolerance 0.25 \
+		-gate-metrics 'points/s,evalreduction,nodes/s,dedupratio,fullevals:lower'
 
 # bench-experiments times the full experiment suite without a cache, with a
 # cold cache, and against the warm cache, recording the wall-clock numbers
@@ -157,4 +192,4 @@ lint-docs:
 linkcheck:
 	$(GO) run ./cmd/linkcheck README.md DESIGN.md ROADMAP.md CHANGES.md docs
 
-check: fmtcheck vet build race bench determinism chaos bench-gate bench-sweep-gate predict-gate lint-docs linkcheck
+check: fmtcheck vet build race bench determinism chaos bench-gate bench-sweep-gate bench-fleet-gate predict-gate lint-docs linkcheck

@@ -13,6 +13,15 @@
 //
 //	go test -bench=. -benchmem ./internal/sim | benchjson -compare BENCH_sim.json
 //
+// -compare accepts a comma-separated list of baselines, merging them into
+// one combined gate: a single fresh run covering several packages is
+// checked against every committed report in one invocation, so CI needs
+// one gate step instead of one per file. Entries are keyed by (package,
+// benchmark), so reports from different packages never collide:
+//
+//	go test -bench=. -benchmem ./internal/sim ./internal/sweep ./internal/fleet |
+//	    benchjson -compare BENCH_sim.json,BENCH_sweep.json,BENCH_fleet.json
+//
 // Custom metrics (b.ReportMetric output) normally drift freely — they
 // carry no universal better-direction, so changes print as notes. A
 // benchmark suite that treats specific metrics as contracts declares them
@@ -65,7 +74,7 @@ type Report struct {
 }
 
 func main() {
-	compareFile := flag.String("compare", "", "baseline JSON to gate against instead of emitting JSON")
+	compareFile := flag.String("compare", "", "baseline JSON file(s) to gate against instead of emitting JSON; comma-separated files merge into one combined gate")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op slowdown vs the baseline (with -compare)")
 	gateMetrics := flag.String("gate-metrics", "", "comma-separated custom metric units whose regressions fail the gate (with -compare); append :lower for lower-is-better units, e.g. 'points/s,fullevals:lower'")
 	flag.Parse()
@@ -82,7 +91,7 @@ func main() {
 	}
 	aggregate(rep)
 	if *compareFile != "" {
-		base, err := loadReport(*compareFile)
+		base, err := loadBaseline(*compareFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
@@ -128,6 +137,32 @@ func aggregate(rep *Report) {
 		out = append(out, b)
 	}
 	rep.Benchmarks = out
+}
+
+// loadBaseline loads the -compare baseline: a comma-separated list of
+// JSON reports whose benchmark lists concatenate, in argument order, into
+// one combined gate. The gate keys entries by (package, benchmark), so
+// reports from different packages never collide; if two files do record
+// the same benchmark, aggregate keeps the fastest entry, exactly as it
+// does for go test -count=N repeats within one file. Header fields come
+// from the first report.
+func loadBaseline(spec string) (*Report, error) {
+	merged := &Report{}
+	for i, path := range strings.Split(spec, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			return nil, fmt.Errorf("-compare %q: empty baseline file name", spec)
+		}
+		rep, err := loadReport(path)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			merged.Goos, merged.Goarch, merged.CPU = rep.Goos, rep.Goarch, rep.CPU
+		}
+		merged.Benchmarks = append(merged.Benchmarks, rep.Benchmarks...)
+	}
+	return merged, nil
 }
 
 func loadReport(path string) (*Report, error) {

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -276,6 +279,107 @@ func TestCompareDeclaredMetricMissingFromRunFails(t *testing.T) {
 	// Undeclared metrics may still vanish silently.
 	if n, out := gateMetrics(t, base, cur, 0.25, nil); n != 0 {
 		t.Fatalf("undeclared vanished metric failed (%d):\n%s", n, out)
+	}
+}
+
+// TestLoadBaselineMergesFiles pins the multi-file gate: comma-separated
+// baselines concatenate into one report keyed by (package, benchmark),
+// header fields come from the first file, and bad entries fail loudly.
+func TestLoadBaselineMergesFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, text string) string {
+		t.Helper()
+		rep, err := parse(strings.NewReader(text))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	sim := write("sim.json", "goos: linux\npkg: p/sim\nBenchmarkA-8 100 100.0 ns/op\n")
+	fleetBase := write("fleet.json", "goos: darwin\npkg: p/fleet\nBenchmarkB-8 100 50.0 ns/op 1000 nodes/s\n")
+
+	merged, err := loadBaseline(sim + "," + fleetBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Goos != "linux" {
+		t.Errorf("header goos = %q, want the first file's", merged.Goos)
+	}
+	if len(merged.Benchmarks) != 2 {
+		t.Fatalf("merged %d benchmarks, want 2", len(merged.Benchmarks))
+	}
+	if merged.Benchmarks[0].Pkg != "p/sim" || merged.Benchmarks[1].Pkg != "p/fleet" {
+		t.Errorf("merge order lost: %q then %q", merged.Benchmarks[0].Pkg, merged.Benchmarks[1].Pkg)
+	}
+
+	// A single file keeps working through the same path.
+	single, err := loadBaseline(sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(single.Benchmarks) != 1 {
+		t.Errorf("single-file baseline has %d benchmarks, want 1", len(single.Benchmarks))
+	}
+
+	for _, bad := range []string{"", sim + ",", "," + sim, filepath.Join(dir, "missing.json")} {
+		if _, err := loadBaseline(bad); err == nil {
+			t.Errorf("loadBaseline(%q) accepted, want error", bad)
+		}
+	}
+}
+
+// TestCompareMergedBaselineGatesBothFiles runs a combined gate end to end:
+// one fresh run spanning two packages against two merged baselines, with a
+// regression in each file's territory.
+func TestCompareMergedBaselineGatesBothFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, text string) string {
+		t.Helper()
+		rep, err := parse(strings.NewReader(text))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	f1 := write("one.json", "pkg: p/sweep\nBenchmarkSweep-8 100 100.0 ns/op 500000 points/s\n")
+	f2 := write("two.json", "pkg: p/fleet\nBenchmarkFleet-8 100 100.0 ns/op 1000000 nodes/s\n")
+	base, err := loadBaseline(f1 + "," + f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggregate(base)
+
+	cur, err := parse(strings.NewReader(
+		"pkg: p/sweep\nBenchmarkSweep-8 100 100.0 ns/op 100000 points/s\n" +
+			"pkg: p/fleet\nBenchmarkFleet-8 100 100.0 ns/op 200000 nodes/s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated := map[string]bool{"points/s": true, "nodes/s": true}
+	var out strings.Builder
+	if n := compare(base, cur, 0.25, gated, &out); n != 2 {
+		t.Fatalf("failures = %d, want one per merged file:\n%s", n, out.String())
+	}
+	for _, unit := range []string{"points/s", "nodes/s"} {
+		if !strings.Contains(out.String(), unit) {
+			t.Errorf("combined gate output missing the %s failure:\n%s", unit, out.String())
+		}
 	}
 }
 

@@ -10,7 +10,7 @@
 //	experiments -jobs 1             # force sequential execution
 //
 // Experiment ids: fig1, fig2, fig5, fig6, fig7, fig8, table2, sweep,
-// sweetspot, predict, ablations, extensions, resilience, all.
+// sweetspot, predict, ablations, extensions, resilience, fleet, all.
 //
 // Ad-hoc batch sweeps bypass the predefined studies: -sweep takes a
 // key=value spec (see internal/sweep.ParseSpec) and evaluates the whole
@@ -32,6 +32,19 @@
 //
 //	experiments -predict 'workloads=kmeans core=all mem=all iters=4'
 //	experiments -predict 'workloads=all' -predict-strategy adaptive -predict-topm 12
+//
+// -fleet simulates a whole fleet of heterogeneous nodes at once (see
+// internal/fleet and docs/PERF.md "Fleet"): each node draws its device
+// class, workload, DVFS mode and fault intensity statelessly from the
+// fleet seed, nodes are deduplicated by configuration fingerprint, every
+// distinct group simulates exactly once through the sweep fast path and
+// run cache, and the results fan back out into per-node aggregates that
+// are byte-identical to simulating each node alone. Dedup economics —
+// group count, nodes collapsed per group, cache hit/miss deltas — print
+// to stderr, never stdout:
+//
+//	experiments -fleet 'nodes=100000 faults=0,1,2'
+//	experiments -fleet 'nodes=10000 classes=8800gtx modes=baseline,holistic' -out results
 //
 // Every experiment point runs on a fresh simulated machine with
 // deterministic seeding, so the output is byte-identical for every -jobs
@@ -99,6 +112,7 @@ import (
 
 	"greengpu/internal/experiments"
 	"greengpu/internal/faultinject"
+	"greengpu/internal/fleet"
 	"greengpu/internal/predict"
 	"greengpu/internal/runcache"
 	"greengpu/internal/sweep"
@@ -113,6 +127,7 @@ type options struct {
 	run             string
 	sweep           string
 	predict         string
+	fleet           string
 	predictStrategy string
 	predictTopM     int
 	out             string
@@ -133,9 +148,10 @@ type options struct {
 
 func registerFlags(fs *flag.FlagSet) *options {
 	o := &options{}
-	fs.StringVar(&o.run, "run", "all", "comma-separated experiment ids (fig1 fig2 fig5 fig6 fig7 fig8 table2 sweep sweetspot predict ablations extensions resilience all)")
+	fs.StringVar(&o.run, "run", "all", "comma-separated experiment ids (fig1 fig2 fig5 fig6 fig7 fig8 table2 sweep sweetspot predict ablations extensions resilience fleet all)")
 	fs.StringVar(&o.sweep, "sweep", "", "run an ad-hoc batch sweep instead of -run: whitespace-separated key=value spec (see internal/sweep.ParseSpec), e.g. 'workloads=kmeans core=all mem=all iters=4'")
 	fs.StringVar(&o.predict, "predict", "", "find sweet spots analytically instead of -run: a -sweep style ladder spec evaluated with the O(anchors) search (see internal/predict)")
+	fs.StringVar(&o.fleet, "fleet", "", "simulate a dedup-compressed node fleet instead of -run: whitespace-separated key=value spec (see internal/fleet.ParseSpec), e.g. 'nodes=100000 faults=0,1,2'")
 	fs.StringVar(&o.predictStrategy, "predict-strategy", "corners", "anchor placement for -predict: corners, doptimal or adaptive")
 	fs.IntVar(&o.predictTopM, "predict-topm", 0, "model-ranked candidates -predict verifies by full evaluation (0 = default, negative = trust the model unverified)")
 	fs.StringVar(&o.out, "out", "", "directory for CSV output (empty = none)")
@@ -214,15 +230,24 @@ func run(o *options, stdout, stderr io.Writer) (err error) {
 		}
 	}
 
-	if o.sweep != "" && o.predict != "" {
-		return fmt.Errorf("-sweep and -predict are mutually exclusive")
+	adhoc := 0
+	for _, s := range []string{o.sweep, o.predict, o.fleet} {
+		if s != "" {
+			adhoc++
+		}
 	}
-	if o.sweep != "" || o.predict != "" {
+	if adhoc > 1 {
+		return fmt.Errorf("-sweep, -predict and -fleet are mutually exclusive")
+	}
+	if adhoc == 1 {
 		var err error
-		if o.sweep != "" {
+		switch {
+		case o.sweep != "":
 			err = runSweep(o.sweep, env, r)
-		} else {
+		case o.predict != "":
 			err = runPredict(o, env, r)
+		default:
+			err = runFleet(o.fleet, env, r, stderr)
 		}
 		if err != nil {
 			return err
@@ -363,6 +388,45 @@ func runPredict(o *options, env *experiments.Env, r *runner) error {
 	return r.emit("predict_spots", sweep.SpotsTable(eng, opts, spots))
 }
 
+// runFleet parses the -fleet spec and evaluates the fleet through the
+// dedup-compressed engine, emitting the per-group and summary tables. The
+// engine shares the environment's worker pool, run cache and chaos plan.
+// Dedup economics go to stderr, never stdout: stdout carries only the
+// deterministic tables, identical at any -jobs value and with the cache
+// on or off.
+func runFleet(specText string, env *experiments.Env, r *runner, stderr io.Writer) error {
+	spec, err := fleet.ParseSpec(specText)
+	if err != nil {
+		return err
+	}
+	eng := &fleet.Engine{Jobs: env.Jobs, Cache: env.Cache, FaultPlan: env.FaultPlan}
+	var before runcache.Stats
+	if env.Cache != nil {
+		before = env.Cache.Stats()
+	}
+	res, err := eng.Run(spec)
+	if err != nil {
+		return err
+	}
+	if err := r.emit("fleet", fleet.GroupsTable(res), fleet.SummaryTable(res)); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "fleet: %d nodes collapsed into %d distinct groups (dedup ratio %.2f)\n",
+		res.Agg.Nodes, len(res.Groups), res.DedupRatio())
+	for i := range res.Groups {
+		g := &res.Groups[i]
+		if g.Count == 0 {
+			continue // deadline reference, not a node-backed group
+		}
+		fmt.Fprintf(stderr, "fleet group %s/%s/%v/faults=%d: %d nodes -> 1 simulation\n",
+			g.Class, g.Workload, g.Mode, g.FaultLevel, g.Count)
+	}
+	if env.Cache != nil {
+		fmt.Fprintln(stderr, "fleet cache delta:", env.Cache.Stats().Sub(before))
+	}
+	return nil
+}
+
 // chaosSeed seeds the -faults default ambient plan. Fixed, so chaos runs
 // reproduce across processes and machines — the CI chaos job relies on it
 // to diff -jobs 1 against -jobs 8.
@@ -477,13 +541,7 @@ func benchCacheSuite(o *options, stderr io.Writer) error {
 	}
 	// The counters are cumulative; subtract the cold pass's share so the
 	// warm row reports one pass on its own.
-	warmStats := cache.Stats()
-	record("warm", warm, runcache.Stats{
-		Hits:     warmStats.Hits - coldStats.Hits,
-		DiskHits: warmStats.DiskHits - coldStats.DiskHits,
-		Misses:   warmStats.Misses - coldStats.Misses,
-		Waits:    warmStats.Waits - coldStats.Waits,
-	})
+	record("warm", warm, cache.Stats().Sub(coldStats))
 
 	report := struct {
 		Suite string     `json:"suite"`
@@ -542,7 +600,7 @@ func startProfiles(cpu, mem string) (stop func() error, err error) {
 
 // allIDs is the "all" suite, in the order the paper presents it; the
 // post-paper studies (ablations, extensions, resilience) follow.
-var allIDs = []string{"table2", "fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "sweep", "sweetspot", "predict", "ablations", "extensions", "resilience"}
+var allIDs = []string{"table2", "fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "sweep", "sweetspot", "predict", "ablations", "extensions", "resilience", "fleet"}
 
 // handlers routes experiment ids to their runners. Keeping the dispatch
 // table explicit (rather than a switch) lets tests verify the id set
@@ -679,6 +737,15 @@ var handlers = map[string]func(*runner) error{
 		}
 		tables = append(tables, experiments.SMComparisonTable(srows))
 		return r.emit("extensions", tables...)
+	},
+	"fleet": func(r *runner) error {
+		rows, err := r.env.FleetStudy()
+		if err != nil {
+			return err
+		}
+		// Emitted as fleet_study.csv — the CSV the CI fleet job diffs across
+		// -jobs values.
+		return r.emit("fleet_study", experiments.FleetStudyTable(rows))
 	},
 	"resilience": func(r *runner) error {
 		rows, err := r.env.FaultResilience("kmeans", "hotspot")

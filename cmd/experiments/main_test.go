@@ -42,6 +42,7 @@ func TestRegisterFlagsRoundTrip(t *testing.T) {
 	args := []string{
 		"-run", "fig1,fig2",
 		"-sweep", "workloads=kmeans",
+		"-fleet", "nodes=100",
 		"-predict-strategy", "adaptive",
 		"-predict-topm", "12",
 		"-out", "res",
@@ -63,6 +64,7 @@ func TestRegisterFlagsRoundTrip(t *testing.T) {
 		t.Fatalf("Parse: %v", err)
 	}
 	want := options{run: "fig1,fig2", sweep: "workloads=kmeans",
+		fleet:           "nodes=100",
 		predictStrategy: "adaptive", predictTopM: 12,
 		out: "res", markdown: true, jobs: 3,
 		cpuprofile: "cpu.out", memprofile: "mem.out",
@@ -85,7 +87,7 @@ func TestRegisterFlagsDefaults(t *testing.T) {
 		t.Errorf("default options = %+v, want %+v", *o, want)
 	}
 	// Every option field must be reachable from the command line.
-	for _, name := range []string{"run", "sweep", "predict", "predict-strategy", "predict-topm", "out", "markdown", "jobs", "cpuprofile", "memprofile", "no-cache", "cache-dir", "cache-max-bytes", "bench-cache", "faults", "metrics", "metrics-json", "flight-recorder", "flight-recorder-out"} {
+	for _, name := range []string{"run", "sweep", "predict", "fleet", "predict-strategy", "predict-topm", "out", "markdown", "jobs", "cpuprofile", "memprofile", "no-cache", "cache-dir", "cache-max-bytes", "bench-cache", "faults", "metrics", "metrics-json", "flight-recorder", "flight-recorder-out"} {
 		if fs.Lookup(name) == nil {
 			t.Errorf("flag -%s not registered", name)
 		}
@@ -466,5 +468,110 @@ func TestSweepFlagBadSpec(t *testing.T) {
 	o := &options{run: "all", sweep: "core=bogus", faults: "off", noCache: true}
 	if err := run(o, io.Discard, io.Discard); err == nil {
 		t.Error("bad -sweep spec accepted")
+	}
+}
+
+// fleetOutput runs an ad-hoc -fleet through the real run() entrypoint,
+// returning stdout and stderr separately.
+func fleetOutput(t *testing.T, spec string, jobs int, noCache bool) (string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	o := &options{run: "all", fleet: spec, jobs: jobs, noCache: noCache, faults: "off"}
+	if err := run(o, &stdout, &stderr); err != nil {
+		t.Fatalf("run(-fleet %q jobs=%d): %v", spec, jobs, err)
+	}
+	return stdout.String(), stderr.String()
+}
+
+// TestFleetFlagDeterminism pins the -fleet contract end-to-end: stdout is
+// byte-identical at -jobs 1 vs -jobs 8 and with the cache on vs off, while
+// the dedup economics land on stderr only — emitting them must never
+// perturb the deterministic tables.
+func TestFleetFlagDeterminism(t *testing.T) {
+	const spec = "nodes=2000 workloads=kmeans,lud modes=baseline,holistic faults=0,2"
+	base, baseErr := fleetOutput(t, spec, 1, true)
+	if !strings.Contains(base, "kmeans") || !strings.Contains(base, "Fleet summary") {
+		t.Fatal("fleet output missing group or summary tables")
+	}
+	if !strings.Contains(baseErr, "distinct groups") {
+		t.Error("fleet stderr missing the dedup summary line")
+	}
+	if !strings.Contains(baseErr, "-> 1 simulation") {
+		t.Error("fleet stderr missing per-group collapse lines")
+	}
+	if strings.Contains(base, "distinct groups") || strings.Contains(base, "-> 1 simulation") {
+		t.Error("dedup economics leaked onto stdout")
+	}
+	for _, c := range []struct {
+		jobs    int
+		noCache bool
+	}{{8, true}, {1, false}, {8, false}} {
+		got, gotErr := fleetOutput(t, spec, c.jobs, c.noCache)
+		if got != base {
+			t.Errorf("-fleet stdout diverges at jobs=%d noCache=%v", c.jobs, c.noCache)
+		}
+		if !c.noCache && !strings.Contains(gotErr, "fleet cache delta") {
+			t.Errorf("cached fleet run (jobs=%d) missing the cache delta line", c.jobs)
+		}
+	}
+}
+
+func TestFleetFlagBadSpec(t *testing.T) {
+	o := &options{run: "all", fleet: "nodes=0", faults: "off", noCache: true}
+	if err := run(o, io.Discard, io.Discard); err == nil {
+		t.Error("bad -fleet spec accepted")
+	}
+}
+
+func TestAdhocFlagsMutuallyExclusive(t *testing.T) {
+	for _, o := range []options{
+		{run: "all", sweep: "workloads=kmeans", fleet: "nodes=10", noCache: true, faults: "off"},
+		{run: "all", predict: "workloads=kmeans", fleet: "nodes=10", noCache: true, faults: "off"},
+		{run: "all", sweep: "workloads=kmeans", predict: "workloads=kmeans", noCache: true, faults: "off"},
+	} {
+		if err := run(&o, io.Discard, io.Discard); err == nil {
+			t.Errorf("options %+v accepted, want mutual-exclusion error", o)
+		}
+	}
+}
+
+// TestFleetStudyCSVDeterminism is the CI fleet job's matrix in miniature:
+// results/fleet_study.csv must be byte-identical across worker counts and
+// cache modes, cold and warm.
+func TestFleetStudyCSVDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the 100k-node fleet study five times")
+	}
+	study := func(jobs int, noCache bool, cacheDir string) string {
+		outDir := t.TempDir()
+		o := &options{run: "fleet", out: outDir, jobs: jobs, noCache: noCache, cacheDir: cacheDir, faults: "off"}
+		if err := run(o, io.Discard, io.Discard); err != nil {
+			t.Fatalf("run(-run fleet jobs=%d): %v", jobs, err)
+		}
+		data, err := os.ReadFile(filepath.Join(outDir, "fleet_study.csv"))
+		if err != nil {
+			t.Fatalf("fleet_study.csv not written: %v", err)
+		}
+		return string(data)
+	}
+	diskDir := t.TempDir()
+	base := study(1, true, "")
+	for _, c := range []struct {
+		name     string
+		jobs     int
+		noCache  bool
+		cacheDir string
+	}{
+		{"jobs8 no cache", 8, true, ""},
+		{"jobs8 memory cache", 8, false, ""},
+		{"jobs8 disk cache cold", 8, false, diskDir},
+		{"jobs8 disk cache warm", 8, false, diskDir},
+	} {
+		if got := study(c.jobs, c.noCache, c.cacheDir); got != base {
+			t.Errorf("%s: fleet_study.csv differs from sequential no-cache run", c.name)
+		}
+	}
+	if !strings.Contains(base, "100000") {
+		t.Error("fleet_study.csv missing the 100k-node rows")
 	}
 }

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFleetStudy pins the study's grid shape and the invariants the dedup
+// engine guarantees cell by cell: every (size, level) pair appears once,
+// dedup ratios grow with fleet size, fault-free cells inject zero faults,
+// and miss rates stay within [0, 1].
+func TestFleetStudy(t *testing.T) {
+	rows, err := env.FleetStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(FleetStudySizes) * len(FleetStudyLevels); len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	i := 0
+	for _, nodes := range FleetStudySizes {
+		for _, level := range FleetStudyLevels {
+			r := rows[i]
+			i++
+			if r.Nodes != nodes || r.FaultLevel != level {
+				t.Fatalf("row %d is (%d, %d), want (%d, %d)", i-1, r.Nodes, r.FaultLevel, nodes, level)
+			}
+			if r.Groups <= 0 || r.DedupRatio < float64(r.Nodes)/float64(r.Groups)-1e-9 {
+				t.Errorf("row %d: groups=%d ratio=%.2f inconsistent with %d nodes", i-1, r.Groups, r.DedupRatio, r.Nodes)
+			}
+			if r.Energy <= 0 || r.Wall <= 0 || r.EDP <= 0 {
+				t.Errorf("row %d: non-positive aggregates: %+v", i-1, r)
+			}
+			if level == 0 && r.Faults != 0 {
+				t.Errorf("row %d: fault-free cell injected %d faults", i-1, r.Faults)
+			}
+			if level == 2 && r.Faults == 0 {
+				t.Errorf("row %d: default-intensity cell injected no faults", i-1)
+			}
+			if r.MissRate < 0 || r.MissRate > 1 {
+				t.Errorf("row %d: miss rate %.3f outside [0, 1]", i-1, r.MissRate)
+			}
+		}
+	}
+	// 100× the nodes over the same axes cannot shrink the dedup ratio.
+	if rows[0].DedupRatio >= rows[len(rows)-1].DedupRatio {
+		t.Errorf("dedup ratio fell from %.2f to %.2f as the fleet grew",
+			rows[0].DedupRatio, rows[len(rows)-1].DedupRatio)
+	}
+}
+
+// TestFleetStudyDeterminism requires identical rendered output at any
+// Jobs value, with or without the shared run cache.
+func TestFleetStudyDeterminism(t *testing.T) {
+	render := func(jobs int, cached bool) string {
+		e2 := *env
+		e2.Jobs = jobs
+		if !cached {
+			e2.Cache = nil
+		}
+		rows, err := e2.FleetStudy()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := FleetStudyTable(rows).WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	seq := render(1, true)
+	for _, tc := range []struct {
+		jobs   int
+		cached bool
+	}{{8, true}, {8, false}, {3, true}} {
+		if got := render(tc.jobs, tc.cached); got != seq {
+			t.Errorf("fleet study output differs at jobs=%d cache=%v", tc.jobs, tc.cached)
+		}
+	}
+	if !strings.Contains(seq, "100000") {
+		t.Error("fleet study table missing the 100k-node rows")
+	}
+}

@@ -225,6 +225,24 @@ func (c Counts) Sub(earlier Counts) Counts {
 	}
 }
 
+// Add returns the per-class sum c + other, for fleet-level accumulation of
+// per-node fault tallies.
+func (c Counts) Add(other Counts) Counts {
+	return Counts{
+		GPUSensorNoisy:   c.GPUSensorNoisy + other.GPUSensorNoisy,
+		GPUSensorDropped: c.GPUSensorDropped + other.GPUSensorDropped,
+		GPUSensorStale:   c.GPUSensorStale + other.GPUSensorStale,
+		CPUSensorNoisy:   c.CPUSensorNoisy + other.CPUSensorNoisy,
+		CPUSensorDropped: c.CPUSensorDropped + other.CPUSensorDropped,
+		CPUSensorStale:   c.CPUSensorStale + other.CPUSensorStale,
+		TransRejected:    c.TransRejected + other.TransRejected,
+		TransDelayed:     c.TransDelayed + other.TransDelayed,
+		MeterDropouts:    c.MeterDropouts + other.MeterDropouts,
+		MeterSpikes:      c.MeterSpikes + other.MeterSpikes,
+		Stragglers:       c.Stragglers + other.Stragglers,
+	}
+}
+
 // TransitionOutcome is the fate of one frequency-transition attempt.
 type TransitionOutcome int
 

@@ -255,6 +255,16 @@ func TestCountsArithmetic(t *testing.T) {
 	if d.GPUSensorNoisy != 2 || d.TransRejected != 0 || d.Stragglers != 1 {
 		t.Fatalf("Sub = %+v", d)
 	}
+	s := a.Add(b)
+	if s.GPUSensorNoisy != 8 || s.TransRejected != 4 || s.Stragglers != 1 {
+		t.Fatalf("Add = %+v", s)
+	}
+	if s.Total() != a.Total()+b.Total() {
+		t.Fatalf("Add total = %d, want %d", s.Total(), a.Total()+b.Total())
+	}
+	if got := a.Add(Counts{}); got != a {
+		t.Fatalf("Add(zero) = %+v, want the receiver unchanged", got)
+	}
 }
 
 // TestInjectorAllocFree: the hot-path methods must not allocate — they run

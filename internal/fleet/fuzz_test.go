@@ -1,0 +1,41 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzFleetSpec drives ParseSpec with arbitrary input: parsing must never
+// panic, accepted specs must validate, and parsing must be deterministic.
+// Fleet evaluation itself is out of scope — the node cap alone makes a
+// Run too expensive for a fuzz body — so the target pins the parse and
+// validation surface the -fleet flag exposes.
+func FuzzFleetSpec(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"nodes=10000 seed=2026 classes=all workloads=all modes=baseline faults=0,1,2",
+		"nodes=1000 classes=8800gtx,gtx280 modes=baseline,scaling,division,holistic deadline=1.1",
+		"workloads=kmeans,nbody faults=0 iters=4",
+		"nodes=99999999999",
+		"faults=0,9 deadline=-1 bogus==x",
+		"modes=warp classes=riva128",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			return
+		}
+		if verr := spec.Validate(); verr != nil {
+			t.Fatalf("ParseSpec(%q) accepted a spec that fails Validate: %v", s, verr)
+		}
+		again, err := ParseSpec(s)
+		if err != nil || !reflect.DeepEqual(spec, again) {
+			t.Fatalf("ParseSpec(%q) is not deterministic", s)
+		}
+		if spec.Nodes < 1 || spec.Nodes > MaxNodes {
+			t.Fatalf("ParseSpec(%q) let Nodes=%d through the cap", s, spec.Nodes)
+		}
+	})
+}

@@ -234,3 +234,35 @@ func TestUniformRangeAndMoments(t *testing.T) {
 		t.Error("Uniform not stable")
 	}
 }
+
+func TestPickRangeAndDistribution(t *testing.T) {
+	const n, choices = 60000, 7
+	counts := make([]int, choices)
+	for k := uint64(0); k < n; k++ {
+		i := Pick(99, k, choices)
+		if i < 0 || i >= choices {
+			t.Fatalf("Pick out of range: %d", i)
+		}
+		counts[i]++
+	}
+	// Each choice should land near n/choices; a 15% band catches a biased
+	// or collapsed mapping without flaking on a fixed seed.
+	want := float64(n) / choices
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.15*want {
+			t.Errorf("choice %d drawn %d times, want ~%.0f", i, c, want)
+		}
+	}
+	if Pick(1, 0, 5) != Pick(1, 0, 5) {
+		t.Error("Pick not stable")
+	}
+	if Pick(1, 0, 1) != 0 {
+		t.Error("single-choice Pick must return 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Pick(seed, k, 0) did not panic")
+		}
+	}()
+	Pick(1, 0, 0)
+}

@@ -39,3 +39,17 @@ func TaskRand(base uint64, index int) *rand.Rand {
 func Uniform(seed, k uint64) float64 {
 	return float64(splitmix64(seed^splitmix64(k))>>11) / (1 << 53)
 }
+
+// Pick maps (seed, draw index) to a uniform choice in [0, n) with the same
+// stateless guarantee as Uniform: draw k depends only on (seed, k, n),
+// never on other draws or execution order. n must be positive.
+func Pick(seed, k uint64, n int) int {
+	if n <= 0 {
+		panic("parallel: Pick needs a positive choice count")
+	}
+	i := int(Uniform(seed, k) * float64(n))
+	if i >= n { // guard the (unreachable in practice) rounding edge
+		i = n - 1
+	}
+	return i
+}

@@ -98,6 +98,20 @@ type Stats struct {
 	Entries int
 }
 
+// Sub returns the counter deltas accumulated since an earlier snapshot of
+// the same cache. Entries, a level not a counter, carries the receiver's
+// current value unchanged.
+func (s Stats) Sub(earlier Stats) Stats {
+	return Stats{
+		Hits:     s.Hits - earlier.Hits,
+		DiskHits: s.DiskHits - earlier.DiskHits,
+		Misses:   s.Misses - earlier.Misses,
+		Waits:    s.Waits - earlier.Waits,
+		Corrupt:  s.Corrupt - earlier.Corrupt,
+		Entries:  s.Entries,
+	}
+}
+
 // String renders the counters for the cmd/experiments stderr summary. The
 // corruption count only appears when non-zero — it should be alarming, not
 // ambient.

@@ -316,6 +316,21 @@ func TestSingleFlight(t *testing.T) {
 	}
 }
 
+// TestStatsSub pins the per-phase delta helper cmd/experiments uses to
+// report one pass of a cumulative cache: counters subtract, the entry
+// count stays the receiver's (it is a level, not a flow).
+func TestStatsSub(t *testing.T) {
+	later := Stats{Hits: 10, DiskHits: 4, Misses: 6, Waits: 3, Corrupt: 1, Entries: 6}
+	earlier := Stats{Hits: 7, DiskHits: 4, Misses: 2, Waits: 1, Entries: 2}
+	want := Stats{Hits: 3, DiskHits: 0, Misses: 4, Waits: 2, Corrupt: 1, Entries: 6}
+	if got := later.Sub(earlier); got != want {
+		t.Errorf("Sub = %+v, want %+v", got, want)
+	}
+	if got := later.Sub(Stats{}); got != later {
+		t.Errorf("Sub(zero) = %+v, want the receiver unchanged", got)
+	}
+}
+
 func TestErrorsAreNotCached(t *testing.T) {
 	c, err := New(Options{})
 	if err != nil {

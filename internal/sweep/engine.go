@@ -180,28 +180,139 @@ func specialize(cfg *core.Config, spec *Spec, pt Point, lv *core.Levels) {
 	}
 }
 
+// Batch is one batch's shared precomputation — the validated device level
+// tables plus the per-workload phase columns — detached from any particular
+// spec so external callers (the fleet engine) can evaluate ad-hoc
+// configurations through the same fast-or-fallback machinery Engine.Run
+// uses. A Batch is immutable after construction and safe for concurrent
+// use.
+type Batch struct {
+	e   *Engine
+	gt  *gpusim.Tables
+	ct  *cpusim.Tables
+	wts map[string]*workloadTables
+}
+
+// deviceTables validates the bus and builds both devices' frequency-level
+// tables — the spec-independent half of a batch's shared precomputation.
+func (e *Engine) deviceTables() (*gpusim.Tables, *cpusim.Tables, error) {
+	if err := e.Bus.Validate(); err != nil {
+		return nil, nil, err
+	}
+	gt, err := gpusim.BuildTables(e.GPU)
+	if err != nil {
+		return nil, nil, err
+	}
+	ct, err := cpusim.BuildTables(e.CPU)
+	if err != nil {
+		return nil, nil, err
+	}
+	return gt, ct, nil
+}
+
+// NewBatch validates the engine's device configurations and precomputes
+// the shared tables for the named workloads (every profile the engine
+// knows when none are named).
+func (e *Engine) NewBatch(names ...string) (*Batch, error) {
+	gt, ct, err := e.deviceTables()
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		names = make([]string, len(e.Profiles))
+		for i, p := range e.Profiles {
+			names[i] = p.Name
+		}
+	}
+	wts := make(map[string]*workloadTables, len(names))
+	for _, n := range names {
+		if _, ok := wts[n]; ok {
+			continue
+		}
+		prof, err := workload.ByName(e.Profiles, n)
+		if err != nil {
+			return nil, err
+		}
+		wts[n] = newWorkloadTables(prof, gt, &e.Bus)
+	}
+	return &Batch{e: e, gt: gt, ct: ct, wts: wts}, nil
+}
+
+// Eval evaluates the named workload under one explicit configuration:
+// closed form when the configuration is expressible, full simulation
+// otherwise, through the run cache when one is attached and the
+// configuration is cacheable. A nil cfg.FaultPlan inherits the engine's
+// ambient plan, mirroring Engine.Run. The bool reports whether the
+// closed-form evaluator produced the result.
+func (b *Batch) Eval(name string, cfg core.Config) (*core.Result, bool, error) {
+	e := b.e
+	wt, ok := b.wts[name]
+	if !ok {
+		return nil, false, fmt.Errorf("sweep: workload %q not in batch", name)
+	}
+	if cfg.FaultPlan == nil && e.FaultPlan != nil {
+		cfg.FaultPlan = e.FaultPlan
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, false, err
+	}
+	fast := fastEligible(&cfg)
+	metricPoints.Inc()
+	if fast {
+		metricFastPath.Inc()
+	} else {
+		metricFallback.Inc()
+	}
+	compute := func() (*core.Result, error) {
+		if fast {
+			return e.fastRun(wt, b.gt, b.ct, &cfg)
+		}
+		return core.Run(testbed.NewFrom(e.GPU, e.CPU, e.Bus), wt.prof, cfg)
+	}
+	if e.Cache == nil || !runcache.Cacheable(&cfg) {
+		r, err := compute()
+		return r, fast, err
+	}
+	key := runcache.KeyOf(&e.GPU, &e.CPU, &e.Bus, wt.prof, &cfg, "")
+	v, err := e.Cache.Do(key, func() (runcache.Value, error) {
+		r, err := compute()
+		return runcache.Value{Result: r}, err
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return v.Result, fast, nil
+}
+
+// Key returns the run-cache fingerprint the batch would use for the named
+// workload under cfg (after inheriting the engine's ambient fault plan),
+// or false when the configuration is not cacheable. External dedup layers
+// group by this key so their groups collapse exactly when the cache would
+// collapse them.
+func (b *Batch) Key(name string, cfg core.Config) (runcache.Key, bool) {
+	wt, ok := b.wts[name]
+	if !ok {
+		return runcache.Key{}, false
+	}
+	if cfg.FaultPlan == nil && b.e.FaultPlan != nil {
+		cfg.FaultPlan = b.e.FaultPlan
+	}
+	if !runcache.Cacheable(&cfg) {
+		return runcache.Key{}, false
+	}
+	return runcache.KeyOf(&b.e.GPU, &b.e.CPU, &b.e.Bus, wt.prof, &cfg, ""), true
+}
+
 // Run expands and evaluates the spec, returning results in Expand order.
 func (e *Engine) Run(spec Spec) ([]PointResult, error) {
 	pts, err := e.Expand(spec)
 	if err != nil {
 		return nil, err
 	}
-	if err := e.Bus.Validate(); err != nil {
-		return nil, err
-	}
-	gt, err := gpusim.BuildTables(e.GPU)
+	gt, ct, err := e.deviceTables()
 	if err != nil {
 		return nil, err
 	}
-	ct, err := cpusim.BuildTables(e.CPU)
-	if err != nil {
-		return nil, err
-	}
-	base := e.baseConfig(&spec)
-	if err := base.Validate(); err != nil {
-		return nil, err
-	}
-	baseFast := fastEligible(&base)
 	wts := make(map[string]*workloadTables)
 	for _, pt := range pts {
 		if _, ok := wts[pt.Workload]; ok {
@@ -213,18 +324,35 @@ func (e *Engine) Run(spec Spec) ([]PointResult, error) {
 		}
 		wts[pt.Workload] = newWorkloadTables(prof, gt, &e.Bus)
 	}
+	// A value batch, captured by value in the map closure: same allocation
+	// profile as capturing the tables individually.
+	b := Batch{e: e, gt: gt, ct: ct, wts: wts}
+	base := e.baseConfig(&spec)
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	baseFast := fastEligible(&base)
 	metricBatches.Inc()
 	metricPoints.Add(uint64(len(pts)))
 	return parallel.Map(context.Background(), pts,
 		func(_ context.Context, _ int, pt Point) (PointResult, error) {
-			return e.evalPoint(&spec, &base, baseFast, wts[pt.Workload], gt, ct, pt)
+			return b.evalPoint(&spec, &base, baseFast, pt)
 		}, parallel.Workers(e.Jobs))
 }
 
 // evalPoint evaluates one point: closed form when the configuration is
 // expressible, full simulation otherwise, through the run cache when one
-// is attached and the point is cacheable.
-func (e *Engine) evalPoint(spec *Spec, base *core.Config, baseFast bool, wt *workloadTables, gt *gpusim.Tables, ct *cpusim.Tables, pt Point) (PointResult, error) {
+// is attached and the point is cacheable. Value receivers keep a
+// stack-constructed batch out of the heap when closures capture it.
+func (b Batch) evalPoint(spec *Spec, base *core.Config, baseFast bool, pt Point) (PointResult, error) {
+	return b.evalPointWT(b.wts[pt.Workload], spec, base, baseFast, pt)
+}
+
+// evalPointWT is evalPoint against an explicit workload table — the form
+// the predicted search uses, where tables are built lazily per workload
+// instead of batched in the map.
+func (b Batch) evalPointWT(wt *workloadTables, spec *Spec, base *core.Config, baseFast bool, pt Point) (PointResult, error) {
+	e := b.e
 	cfg := *base
 	var lv core.Levels
 	specialize(&cfg, spec, pt, &lv)
@@ -238,7 +366,7 @@ func (e *Engine) evalPoint(spec *Spec, base *core.Config, baseFast bool, wt *wor
 	}
 	compute := func() (*core.Result, error) {
 		if fast {
-			return e.fastRun(wt, gt, ct, &cfg)
+			return e.fastRun(wt, b.gt, b.ct, &cfg)
 		}
 		return core.Run(testbed.NewFrom(e.GPU, e.CPU, e.Bus), wt.prof, cfg)
 	}

@@ -16,8 +16,6 @@ import (
 	"strings"
 
 	"greengpu/internal/core"
-	"greengpu/internal/cpusim"
-	"greengpu/internal/gpusim"
 	"greengpu/internal/predict"
 	"greengpu/internal/runcache"
 	"greengpu/internal/telemetry"
@@ -78,17 +76,14 @@ func (e *Engine) PredictSweetSpots(spec Spec, opts predict.Options) ([]SpotResul
 	if cpuLvl >= len(e.CPU.PStates) {
 		return nil, fmt.Errorf("sweep: CPU P-state %d out of range [0,%d)", cpuLvl, len(e.CPU.PStates))
 	}
-	if err := e.Bus.Validate(); err != nil {
-		return nil, err
-	}
-	gt, err := gpusim.BuildTables(e.GPU)
+	gt, ct, err := e.deviceTables()
 	if err != nil {
 		return nil, err
 	}
-	ct, err := cpusim.BuildTables(e.CPU)
-	if err != nil {
-		return nil, err
-	}
+	// Workload tables are built lazily per workload below; the value batch
+	// carries only the shared device tables so the sample closure captures
+	// it without a heap allocation.
+	b := Batch{e: e, gt: gt, ct: ct}
 	base := e.baseConfig(&spec)
 	if err := base.Validate(); err != nil {
 		return nil, err
@@ -115,7 +110,7 @@ func (e *Engine) PredictSweetSpots(spec Spec, opts predict.Options) ([]SpotResul
 		search := func() (predict.Outcome, error) {
 			oc, err := predict.SweetSpot(coreF, memF, func(ci, mi int) (predict.Sample, error) {
 				pt := Point{Workload: n, Draw: -1, Core: cores[ci], Mem: mems[mi], CPU: cpuLvl}
-				pr, err := e.evalPoint(&spec, &base, baseFast, wt, gt, ct, pt)
+				pr, err := b.evalPointWT(wt, &spec, &base, baseFast, pt)
 				if err != nil {
 					return predict.Sample{}, err
 				}
@@ -130,7 +125,7 @@ func (e *Engine) PredictSweetSpots(spec Spec, opts predict.Options) ([]SpotResul
 			oc.Core, oc.Mem = cores[oc.Core], mems[oc.Mem]
 			return oc, nil
 		}
-		oc, err := e.memoizedSearch(&base, wt.prof, variant, search)
+		oc, err := e.memoizedSearch(&base, prof, variant, search)
 		if err != nil {
 			return nil, err
 		}

@@ -158,7 +158,7 @@ func ParseSpec(s string) (Spec, error) {
 		case "seed":
 			spec.Seed, err = strconv.ParseUint(v, 10, 64)
 		case "mode":
-			spec.Mode, err = parseMode(v)
+			spec.Mode, err = ParseMode(v)
 		default:
 			return Spec{}, fmt.Errorf("sweep: unknown key %q", k)
 		}
@@ -225,7 +225,10 @@ func parseIndex(v string) (int, error) {
 	return n, nil
 }
 
-func parseMode(v string) (core.Mode, error) {
+// ParseMode resolves a framework-mode name as the sweep and fleet spec
+// mini-languages spell them, accepting the paper's aliases
+// ("frequency-scaling", "greengpu") alongside the short forms.
+func ParseMode(v string) (core.Mode, error) {
 	switch v {
 	case "baseline":
 		return core.Baseline, nil

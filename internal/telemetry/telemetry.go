@@ -83,6 +83,17 @@ const (
 	// MetricPredictFallbacks counts predictor searches that fell back to
 	// exhaustive evaluation on a degenerate fit.
 	MetricPredictFallbacks = "greengpu_predict_fallbacks_total"
+	// MetricFleetRuns counts fleet evaluations (fleet.Engine.Run calls).
+	MetricFleetRuns = "greengpu_fleet_runs_total"
+	// MetricFleetNodes counts fleet nodes attributed results (the node
+	// level of the node→group→fleet hierarchy).
+	MetricFleetNodes = "greengpu_fleet_nodes_total"
+	// MetricFleetGroups counts distinct config groups actually simulated
+	// (the group level of the node→group→fleet hierarchy).
+	MetricFleetGroups = "greengpu_fleet_groups_total"
+	// MetricFleetDedupSaved counts simulations avoided by fingerprint
+	// dedup: nodes minus groups, summed over fleet runs.
+	MetricFleetDedupSaved = "greengpu_fleet_dedup_saved_total"
 )
 
 // metric is the registry's view of an instrument.
