@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: fmt fmtcheck vet build test race bench bench-stable bench-json bench-gate bench-sweep-json bench-sweep-gate bench-fleet-json bench-fleet-gate bench-gates bench-experiments golden determinism chaos predict-gate lint-docs linkcheck check
+.PHONY: fmt fmtcheck vet build test race bench bench-stable bench-json bench-gate bench-sweep-json bench-sweep-gate bench-fleet-json bench-fleet-gate bench-daemon-json bench-daemon-gate bench-gates bench-experiments daemon-smoke golden determinism chaos predict-gate lint-docs linkcheck check
 
 fmt:
 	gofmt -w .
@@ -105,6 +105,65 @@ bench-fleet-gate:
 	$(FLEET_BENCH) | $(GO) run ./cmd/benchjson -compare BENCH_fleet.json -tolerance 0.25 \
 		-gate-metrics 'nodes/s,dedupratio'
 
+# bench-daemon-json snapshots the greengpud HTTP load benchmarks — real
+# requests over loopback against a warm run cache (see docs/SERVICE.md
+# "Capacity planning"). No -benchmem: HTTP handler allocation counts are
+# scheduler-dependent and an alloc gate on them would be flaky.
+DAEMON_BENCH = $(GO) test -run='^$$' -bench=BenchmarkDaemon -count=5 -benchtime=2000x \
+		./internal/daemon
+
+bench-daemon-json:
+	$(DAEMON_BENCH) | $(GO) run ./cmd/benchjson > BENCH_daemon.json
+
+# bench-daemon-gate is the daemon load-test gate CI enforces: a fresh run
+# must stay within ±25% ns/op of the committed BENCH_daemon.json and must
+# hold the declared req/s and points/s throughput contracts — the
+# "sustained point-requests per second on a warm cache" headline. Refresh
+# with `make bench-daemon-json` on intentional changes.
+bench-daemon-gate:
+	$(DAEMON_BENCH) | $(GO) run ./cmd/benchjson -compare BENCH_daemon.json -tolerance 0.25 \
+		-gate-metrics 'req/s,points/s'
+
+# daemon-smoke boots a real greengpud, drives it with curl, and enforces
+# the byte-identity contract: the daemon's ?format=csv responses must be
+# byte-identical to the same specs run through the one-shot
+# cmd/experiments CLI. It also scrapes /metrics once and checks that
+# SIGTERM drains and exits 0.
+DAEMON_SMOKE_SWEEP = workloads=kmeans,hotspot core=all mem=all iters=4
+DAEMON_SMOKE_FLEET = nodes=50 seed=7 workloads=kmeans,hotspot iters=4
+DAEMON_SMOKE_ADDR = 127.0.0.1:7999
+
+daemon-smoke:
+	$(GO) build -o /tmp/greengpud-smoke ./cmd/greengpud
+	$(GO) build -o /tmp/greengpu-smoke-exp ./cmd/experiments
+	rm -rf /tmp/greengpu-smoke && mkdir -p /tmp/greengpu-smoke
+	/tmp/greengpu-smoke-exp -sweep '$(DAEMON_SMOKE_SWEEP)' -out /tmp/greengpu-smoke > /dev/null 2>&1
+	/tmp/greengpu-smoke-exp -fleet '$(DAEMON_SMOKE_FLEET)' -out /tmp/greengpu-smoke > /dev/null 2>&1
+	/tmp/greengpud-smoke -addr $(DAEMON_SMOKE_ADDR) 2> /tmp/greengpu-smoke/daemon.log & \
+	pid=$$!; \
+	up=""; for i in $$(seq 1 100); do \
+		curl -fsS http://$(DAEMON_SMOKE_ADDR)/healthz > /dev/null 2>&1 && { up=1; break; }; \
+		sleep 0.1; \
+	done; \
+	[ -n "$$up" ] || { echo "daemon-smoke: daemon never became healthy" >&2; kill $$pid 2>/dev/null; exit 1; }; \
+	fail=""; \
+	curl -fsS -X POST 'http://$(DAEMON_SMOKE_ADDR)/v1/sweep?format=csv' \
+		-d '{"spec":"$(DAEMON_SMOKE_SWEEP)"}' > /tmp/greengpu-smoke/daemon_sweep.csv || fail="sweep POST"; \
+	diff /tmp/greengpu-smoke/sweep_points.csv /tmp/greengpu-smoke/daemon_sweep.csv || fail="sweep CSV drift"; \
+	curl -fsS -X POST 'http://$(DAEMON_SMOKE_ADDR)/v1/fleet?format=csv&table=groups' \
+		-d '{"spec":"$(DAEMON_SMOKE_FLEET)"}' > /tmp/greengpu-smoke/daemon_fleet_groups.csv || fail="fleet POST"; \
+	diff /tmp/greengpu-smoke/fleet_1.csv /tmp/greengpu-smoke/daemon_fleet_groups.csv || fail="fleet groups CSV drift"; \
+	curl -fsS -X POST 'http://$(DAEMON_SMOKE_ADDR)/v1/fleet?format=csv&table=summary' \
+		-d '{"spec":"$(DAEMON_SMOKE_FLEET)"}' > /tmp/greengpu-smoke/daemon_fleet_summary.csv || fail="fleet summary POST"; \
+	diff /tmp/greengpu-smoke/fleet_2.csv /tmp/greengpu-smoke/daemon_fleet_summary.csv || fail="fleet summary CSV drift"; \
+	curl -fsS http://$(DAEMON_SMOKE_ADDR)/metrics | grep -q '^greengpu_daemon_sweep_requests_total 1$$' \
+		|| fail="metrics scrape"; \
+	kill -TERM $$pid; \
+	wait $$pid || fail="nonzero exit on SIGTERM"; \
+	grep -q 'jobs at exit' /tmp/greengpu-smoke/daemon.log || fail="missing drain log"; \
+	[ -z "$$fail" ] || { echo "daemon-smoke: $$fail" >&2; cat /tmp/greengpu-smoke/daemon.log >&2; exit 1; }
+	rm -rf /tmp/greengpu-smoke /tmp/greengpud-smoke /tmp/greengpu-smoke-exp
+
 # bench-gates runs the sweep and fleet benchmark suites once and checks
 # both committed baselines in a single combined benchjson gate — the
 # multi-file -compare form. One benchmark pass, one verdict, instead of
@@ -192,4 +251,4 @@ lint-docs:
 linkcheck:
 	$(GO) run ./cmd/linkcheck README.md DESIGN.md ROADMAP.md CHANGES.md docs
 
-check: fmtcheck vet build race bench determinism chaos bench-gate bench-sweep-gate bench-fleet-gate predict-gate lint-docs linkcheck
+check: fmtcheck vet build race bench determinism chaos daemon-smoke bench-gate bench-sweep-gate bench-fleet-gate bench-daemon-gate predict-gate lint-docs linkcheck

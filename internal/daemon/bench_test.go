@@ -1,0 +1,103 @@
+package daemon
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// Daemon load benchmarks: real HTTP over loopback against a warm run
+// cache, the capacity-planning numbers docs/SERVICE.md cites. Both
+// report throughput via b.ReportMetric so cmd/benchjson can gate on it:
+//
+//   - req/s     completed HTTP requests per second
+//   - points/s  simulation points served per second (the sweep endpoint
+//     amortizes HTTP overhead across its whole batch, so its points/s
+//     is the daemon's true point-serving capacity)
+//
+// No -benchmem here: HTTP handler allocation counts are scheduler-
+// dependent and would make an alloc gate flaky.
+
+// benchClient is a keep-alive client sized for the benchmark's
+// concurrency so connection churn doesn't dominate.
+func benchClient() *http.Client {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = 256
+	tr.MaxIdleConnsPerHost = 256
+	return &http.Client{Transport: tr}
+}
+
+func benchPost(b *testing.B, c *http.Client, url, body string) {
+	resp, err := c.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+// BenchmarkDaemonSimulateWarm serves repeat POST /v1/simulate points
+// from the warm cache — the per-request floor of the HTTP path.
+func BenchmarkDaemonSimulateWarm(b *testing.B) {
+	_, ts := newTestServer(b, nil)
+	c := benchClient()
+	const body = `{"workload":"kmeans","mode":"baseline","iterations":4}`
+	benchPost(b, c, ts.URL+"/v1/simulate", body) // warm the batch tables
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			benchPost(b, c, ts.URL+"/v1/simulate", body)
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkDaemonSweepWarm serves repeat POST /v1/sweep batches from the
+// warm cache. points/s is requests/s times the batch size — the
+// headline point-requests-per-second capacity.
+func BenchmarkDaemonSweepWarm(b *testing.B) {
+	_, ts := newTestServer(b, nil)
+	c := benchClient()
+	body := `{"spec":"workloads=kmeans,hotspot core=all mem=all iters=4"}`
+
+	// Warm the cache and learn the batch size from the response.
+	var warm SweepResponse
+	resp, err := c.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("warmup status %d: %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &warm); err != nil {
+		b.Fatalf("decode %q: %v", data, err)
+	}
+	points := len(warm.Points)
+	if points == 0 {
+		b.Fatal("warmup returned no points")
+	}
+
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			benchPost(b, c, ts.URL+"/v1/sweep", body)
+		}
+	})
+	b.StopTimer()
+	secs := b.Elapsed().Seconds()
+	b.ReportMetric(float64(b.N)/secs, "req/s")
+	b.ReportMetric(float64(b.N*points)/secs, "points/s")
+}

@@ -1,0 +1,217 @@
+// Async job store: sweep and fleet requests submitted with async=true
+// detach into jobs that survive the submitting connection and are
+// queried (or canceled) through /v1/results/{id}.
+
+package daemon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"greengpu/internal/fleet"
+	"greengpu/internal/sweep"
+)
+
+// Job kinds and states, as they appear in JSON responses.
+const (
+	jobSweep = "sweep"
+	jobFleet = "fleet"
+
+	jobRunning  = "running"
+	jobDone     = "done"
+	jobFailed   = "failed"
+	jobCanceled = "canceled"
+)
+
+// job is one detached evaluation. All mutable fields are guarded by the
+// owning store's mutex.
+type job struct {
+	id     string
+	kind   string
+	spec   string
+	cancel context.CancelFunc
+
+	state    string
+	err      string
+	sweepRes []sweep.PointResult
+	fleetRes *fleet.Result
+}
+
+// jobStore holds jobs by id, evicting the oldest finished jobs beyond
+// the retention bound. Running jobs are never evicted.
+type jobStore struct {
+	mu    sync.Mutex
+	next  int
+	max   int
+	jobs  map[string]*job
+	order []string // insertion order, the eviction scan order
+}
+
+func newJobStore(max int) *jobStore {
+	return &jobStore{max: max, jobs: make(map[string]*job)}
+}
+
+// add registers a new running job and returns it, evicting the oldest
+// finished job when the store is over its bound.
+func (st *jobStore) add(kind, spec string, cancel context.CancelFunc) *job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.next++
+	j := &job{id: fmt.Sprintf("%d", st.next), kind: kind, spec: spec,
+		cancel: cancel, state: jobRunning}
+	st.jobs[j.id] = j
+	st.order = append(st.order, j.id)
+	for len(st.order) > st.max {
+		evicted := false
+		for i, id := range st.order {
+			if st.jobs[id].state == jobRunning {
+				continue
+			}
+			delete(st.jobs, id)
+			st.order = append(st.order[:i], st.order[i+1:]...)
+			evicted = true
+			break
+		}
+		if !evicted {
+			break // every retained job is still running; keep them all
+		}
+	}
+	return j
+}
+
+// get returns the job by id.
+func (st *jobStore) get(id string) (*job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	return j, ok
+}
+
+// finish records a job's outcome: canceled when its context was
+// canceled, failed on any other error, done otherwise (store runs the
+// result-attaching closure under the lock).
+func (st *jobStore) finish(j *job, ctx context.Context, err error, attach func()) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	switch {
+	case ctx.Err() != nil || errors.Is(err, context.Canceled):
+		j.state = jobCanceled
+		metricCanceled.Inc()
+	case err != nil:
+		j.state = jobFailed
+		j.err = err.Error()
+	default:
+		j.state = jobDone
+		attach()
+	}
+}
+
+// JobCounts tallies the store by state for /v1/stats.
+type JobCounts struct {
+	Running  int `json:"running"`
+	Done     int `json:"done"`
+	Failed   int `json:"failed"`
+	Canceled int `json:"canceled"`
+}
+
+func (st *jobStore) counts() JobCounts {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var c JobCounts
+	for _, j := range st.jobs {
+		switch j.state {
+		case jobRunning:
+			c.Running++
+		case jobDone:
+			c.Done++
+		case jobFailed:
+			c.Failed++
+		case jobCanceled:
+			c.Canceled++
+		}
+	}
+	return c
+}
+
+// JobResponse is the GET /v1/results/{id} result (and the 202 body of an
+// async submission, with only the identity fields set). Points or the
+// fleet fields are present once the job is done.
+type JobResponse struct {
+	ID     string `json:"id"`
+	Kind   string `json:"kind"`
+	Spec   string `json:"spec"`
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+
+	Points  []SweepPoint  `json:"points,omitempty"`
+	Groups  []FleetGroup  `json:"groups,omitempty"`
+	Summary *FleetSummary `json:"summary,omitempty"`
+}
+
+// startJob launches run as a detached job under the server's base
+// context and answers 202 with the job id. The admission slot transfers
+// to the job and is released when it finishes.
+func (s *Server) startJob(w http.ResponseWriter, kind, spec string, release func(), run func(ctx context.Context, j *job)) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j := s.jobs.add(kind, spec, cancel)
+	metricJobs.Inc()
+	s.bg.Add(1)
+	go func() {
+		defer s.bg.Done()
+		defer release()
+		defer cancel()
+		run(ctx, j)
+	}()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	writeJSONBody(w, JobResponse{ID: j.id, Kind: kind, Spec: spec, Status: jobRunning})
+}
+
+// handleResultGet serves a job's status and, once done, its results —
+// JSON by default, the CLI-identical CSV with ?format=csv (sweep jobs
+// render the sweep_points table; fleet jobs honor ?table like the sync
+// endpoint).
+func (s *Server) handleResultGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no such job %q", r.PathValue("id")))
+		return
+	}
+	s.jobs.mu.Lock()
+	resp := JobResponse{ID: j.id, Kind: j.kind, Spec: j.spec, Status: j.state, Error: j.err}
+	sweepRes, fleetRes := j.sweepRes, j.fleetRes
+	s.jobs.mu.Unlock()
+	if resp.Status == jobDone && r.URL.Query().Get("format") == "csv" {
+		if j.kind == jobSweep {
+			writeCSV(w, sweep.Table(s.eng, sweepRes))
+		} else {
+			writeFleetCSV(w, r, fleetRes)
+		}
+		return
+	}
+	if resp.Status == jobDone {
+		if j.kind == jobSweep {
+			resp.Points = s.sweepPoints(sweepRes)
+		} else {
+			fr := fleetResponse(j.spec, fleetRes)
+			resp.Groups = fr.Groups
+			resp.Summary = &fr.Summary
+		}
+	}
+	writeJSON(w, resp)
+}
+
+// handleResultDelete cancels a running job (its remaining points are
+// skipped; completed points stay cached) or discards a finished one.
+func (s *Server) handleResultDelete(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no such job %q", r.PathValue("id")))
+		return
+	}
+	j.cancel()
+	writeJSON(w, map[string]string{"id": j.id, "status": "cancel requested"})
+}

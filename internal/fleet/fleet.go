@@ -205,7 +205,17 @@ type groupMeta struct {
 // internal/parallel workers, memoized in the shared run cache), and fans
 // the results back out into per-node attribution and fleet aggregates.
 // Output is byte-identical at any Jobs value and to RunNaive.
+// It is RunContext under a background context.
 func (e *Engine) Run(spec Spec) (*Result, error) {
+	return e.RunContext(context.Background(), spec)
+}
+
+// RunContext is Run with request-scoped cancellation: when ctx is
+// canceled, groups that have not started simulating are skipped, groups
+// already running complete (so an attached run cache never holds partial
+// entries), and the error is ctx.Err(). The daemon routes client
+// disconnects through this path.
+func (e *Engine) RunContext(ctx context.Context, spec Spec) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -315,7 +325,7 @@ func (e *Engine) Run(spec Spec) (*Result, error) {
 	for i := range idx {
 		idx[i] = i
 	}
-	outs, err := parallel.Map(context.Background(), idx,
+	outs, err := parallel.Map(ctx, idx,
 		func(_ context.Context, _ int, g int) (evalOut, error) {
 			r, fast, err := rts[metas[g].class].batch.Eval(wls[metas[g].workload], metas[g].cfg)
 			return evalOut{res: r, fast: fast}, err

@@ -83,19 +83,19 @@ type Stats struct {
 	// Hits served from the in-memory map; DiskHits additionally counts
 	// entries loaded from the disk layer (a disk hit is not a Hit: the
 	// point was not in memory).
-	Hits     uint64
-	DiskHits uint64
+	Hits     uint64 `json:"hits"`
+	DiskHits uint64 `json:"disk_hits"`
 	// Misses are points actually simulated.
-	Misses uint64
-	// Waits counts single-flight blocks: a worker needed a point another
-	// worker was already computing and waited for it instead of
-	// duplicating the run.
-	Waits uint64
+	Misses uint64 `json:"misses"`
+	// Waits counts single-flight blocks: a worker (or a concurrent daemon
+	// client) needed a point another was already computing and waited for
+	// it instead of duplicating the run.
+	Waits uint64 `json:"waits"`
 	// Corrupt counts disk entries that failed to decode and were
 	// quarantined (renamed to .bad) so the point recomputed cleanly.
-	Corrupt uint64
+	Corrupt uint64 `json:"corrupt"`
 	// Entries is the current in-memory entry count.
-	Entries int
+	Entries int `json:"entries"`
 }
 
 // Sub returns the counter deltas accumulated since an earlier snapshot of

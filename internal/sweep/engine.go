@@ -304,7 +304,17 @@ func (b *Batch) Key(name string, cfg core.Config) (runcache.Key, bool) {
 }
 
 // Run expands and evaluates the spec, returning results in Expand order.
+// It is RunContext under a background context.
 func (e *Engine) Run(spec Spec) ([]PointResult, error) {
+	return e.RunContext(context.Background(), spec)
+}
+
+// RunContext is Run with request-scoped cancellation: when ctx is
+// canceled, points that have not started are skipped, points already
+// running complete (so an attached run cache never holds partial
+// entries), and the error is ctx.Err(). The daemon routes client
+// disconnects through this path.
+func (e *Engine) RunContext(ctx context.Context, spec Spec) ([]PointResult, error) {
 	pts, err := e.Expand(spec)
 	if err != nil {
 		return nil, err
@@ -334,7 +344,7 @@ func (e *Engine) Run(spec Spec) ([]PointResult, error) {
 	baseFast := fastEligible(&base)
 	metricBatches.Inc()
 	metricPoints.Add(uint64(len(pts)))
-	return parallel.Map(context.Background(), pts,
+	return parallel.Map(ctx, pts,
 		func(_ context.Context, _ int, pt Point) (PointResult, error) {
 			return b.evalPoint(&spec, &base, baseFast, pt)
 		}, parallel.Workers(e.Jobs))

@@ -1,0 +1,21 @@
+// Live-endpoint adapter: the registry as an http.Handler, so a long-lived
+// process (cmd/greengpud) can serve its metrics to a Prometheus scraper
+// instead of — or alongside — the stderr/file emitters.
+
+package telemetry
+
+import "net/http"
+
+// Handler returns an http.Handler that renders a point-in-time snapshot of
+// the registry in the Prometheus text exposition format (version 0.0.4) on
+// every request. Snapshots are taken under the registry's read lock, so the
+// handler is safe to serve while instruments record; like every emitter it
+// is read-only and never perturbs simulation results.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Rendering buffers the whole snapshot before the first write, so a
+		// failure here can only be a client disconnect — nothing to report.
+		_ = r.WritePrometheus(w)
+	})
+}

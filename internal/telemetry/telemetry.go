@@ -284,7 +284,22 @@ func (g *Gauge) Set(v float64) {
 	g.bits.Store(math.Float64bits(v))
 }
 
-// Value returns the last value stored by Set (0 before any Set).
+// Add adjusts the gauge by delta (negative deltas decrease it). A no-op
+// while telemetry is disabled. The in-flight request gauges pair Add(1)
+// with a deferred Add(-1).
+func (g *Gauge) Add(delta float64) {
+	if !enabled.Load() {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the last value stored by Set or Add (0 before either).
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 func (g *Gauge) meta() (string, string, string) { return g.name, g.help, "gauge" }
