@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: fmt fmtcheck vet build test race bench bench-stable bench-json bench-gate bench-sweep-json bench-sweep-gate bench-fleet-json bench-fleet-gate bench-daemon-json bench-daemon-gate bench-gates bench-experiments daemon-smoke golden determinism chaos predict-gate lint-docs linkcheck check
+.PHONY: fmt fmtcheck vet build test race bench bench-stable bench-json bench-gate bench-sweep-json bench-sweep-gate bench-fleet-json bench-fleet-gate bench-daemon-json bench-daemon-gate bench-gates bench-experiments daemon-smoke daemon-crash-smoke golden determinism chaos predict-gate lint-docs linkcheck check
 
 fmt:
 	gofmt -w .
@@ -164,6 +164,61 @@ daemon-smoke:
 	[ -z "$$fail" ] || { echo "daemon-smoke: $$fail" >&2; cat /tmp/greengpu-smoke/daemon.log >&2; exit 1; }
 	rm -rf /tmp/greengpu-smoke /tmp/greengpud-smoke /tmp/greengpu-smoke-exp
 
+# daemon-crash-smoke SIGKILLs a journaled daemon mid-sweep and enforces
+# the crash-recovery contract: the restarted daemon (same -state-dir and
+# -cache-dir) must announce the recovery, re-execute the job under its
+# original id, and serve ?format=csv bytes identical to the one-shot
+# cmd/experiments run of the same spec — deterministic replay, not a
+# checkpoint. A final SIGTERM must still drain and exit 0.
+DAEMON_CRASH_SPEC = draws=400 mode=holistic workloads=kmeans,hotspot
+DAEMON_CRASH_ADDR = 127.0.0.1:7998
+
+daemon-crash-smoke:
+	$(GO) build -o /tmp/greengpud-crash ./cmd/greengpud
+	$(GO) build -o /tmp/greengpu-crash-exp ./cmd/experiments
+	rm -rf /tmp/greengpu-crash && mkdir -p /tmp/greengpu-crash/state /tmp/greengpu-crash/cache
+	/tmp/greengpu-crash-exp -sweep '$(DAEMON_CRASH_SPEC)' -out /tmp/greengpu-crash > /dev/null 2>&1
+	/tmp/greengpud-crash -addr $(DAEMON_CRASH_ADDR) -state-dir /tmp/greengpu-crash/state \
+		-cache-dir /tmp/greengpu-crash/cache 2> /tmp/greengpu-crash/daemon1.log & \
+	pid=$$!; \
+	up=""; for i in $$(seq 1 100); do \
+		curl -fsS http://$(DAEMON_CRASH_ADDR)/healthz > /dev/null 2>&1 && { up=1; break; }; \
+		sleep 0.1; \
+	done; \
+	[ -n "$$up" ] || { echo "daemon-crash-smoke: daemon never became healthy" >&2; kill -9 $$pid 2>/dev/null; exit 1; }; \
+	id=$$(curl -fsS -X POST http://$(DAEMON_CRASH_ADDR)/v1/sweep \
+		-d '{"spec":"$(DAEMON_CRASH_SPEC)","async":true}' | sed -n 's/.*"id":"\([0-9]*\)".*/\1/p'); \
+	[ -n "$$id" ] || { echo "daemon-crash-smoke: no job id in the 202" >&2; kill -9 $$pid 2>/dev/null; exit 1; }; \
+	kill -9 $$pid; wait $$pid 2>/dev/null; \
+	/tmp/greengpud-crash -addr $(DAEMON_CRASH_ADDR) -state-dir /tmp/greengpu-crash/state \
+		-cache-dir /tmp/greengpu-crash/cache 2> /tmp/greengpu-crash/daemon2.log & \
+	pid=$$!; \
+	up=""; for i in $$(seq 1 100); do \
+		curl -fsS http://$(DAEMON_CRASH_ADDR)/healthz > /dev/null 2>&1 && { up=1; break; }; \
+		sleep 0.1; \
+	done; \
+	[ -n "$$up" ] || { echo "daemon-crash-smoke: daemon never restarted" >&2; kill -9 $$pid 2>/dev/null; exit 1; }; \
+	fail=""; \
+	grep -q 'recovered 1 pending job(s)' /tmp/greengpu-crash/daemon2.log || fail="missing recovery log"; \
+	final=""; for i in $$(seq 1 600); do \
+		st=$$(curl -fsS http://$(DAEMON_CRASH_ADDR)/v1/results/$$id); \
+		echo "$$st" | grep -q '"status":"running"' || { final="$$st"; break; }; \
+		sleep 0.5; \
+	done; \
+	echo "$$final" | grep -q '"status":"done"' || fail="recovered job not done: $$final"; \
+	echo "$$final" | grep -q '"recovered":true' || fail="recovered job not flagged"; \
+	curl -fsS "http://$(DAEMON_CRASH_ADDR)/v1/results/$$id?format=csv" \
+		> /tmp/greengpu-crash/recovered.csv || fail="recovered CSV fetch"; \
+	diff /tmp/greengpu-crash/sweep_points.csv /tmp/greengpu-crash/recovered.csv \
+		|| fail="recovered CSV drift from uninterrupted run"; \
+	curl -fsS http://$(DAEMON_CRASH_ADDR)/v1/jobs | grep -q '"recovered":true' \
+		|| fail="/v1/jobs missing recovered marker"; \
+	kill -TERM $$pid; \
+	wait $$pid || fail="nonzero exit on SIGTERM"; \
+	[ -z "$$fail" ] || { echo "daemon-crash-smoke: $$fail" >&2; \
+		cat /tmp/greengpu-crash/daemon1.log /tmp/greengpu-crash/daemon2.log >&2; exit 1; }
+	rm -rf /tmp/greengpu-crash /tmp/greengpud-crash /tmp/greengpu-crash-exp
+
 # bench-gates runs the sweep and fleet benchmark suites once and checks
 # both committed baselines in a single combined benchjson gate — the
 # multi-file -compare form. One benchmark pass, one verdict, instead of
@@ -251,4 +306,4 @@ lint-docs:
 linkcheck:
 	$(GO) run ./cmd/linkcheck README.md DESIGN.md ROADMAP.md CHANGES.md docs
 
-check: fmtcheck vet build race bench determinism chaos daemon-smoke bench-gate bench-sweep-gate bench-fleet-gate bench-daemon-gate predict-gate lint-docs linkcheck
+check: fmtcheck vet build race bench determinism chaos daemon-smoke daemon-crash-smoke bench-gate bench-sweep-gate bench-fleet-gate bench-daemon-gate predict-gate lint-docs linkcheck

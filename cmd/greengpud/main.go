@@ -8,12 +8,19 @@
 //	greengpud -addr :8080              # all interfaces, port 8080
 //	greengpud -jobs 8                  # bound each request's fan-out
 //	greengpud -cache-dir .cache        # persist points across restarts
+//	greengpud -state-dir .state        # journal async jobs; recover on restart
 //	greengpud -flight-recorder 256     # enable GET /v1/flightrecorder
 //
 // Endpoints: POST /v1/simulate, POST /v1/sweep, POST /v1/fleet (the
 // sweep.ParseSpec / fleet.ParseSpec mini-languages, sync or async),
-// GET /v1/results/{id}, GET /v1/flightrecorder, GET /v1/stats,
-// GET /metrics (live Prometheus registry), GET /healthz.
+// GET /v1/jobs, GET /v1/results/{id}, GET /v1/flightrecorder,
+// GET /v1/stats, GET /metrics (live Prometheus registry), GET /healthz.
+//
+// With -state-dir, accepted async jobs are journaled (fsynced before the
+// 202 is returned); after a crash the next start re-executes every job
+// that had no terminal record, and deterministic replay — ideally through
+// a warm -cache-dir — makes the recovered results byte-identical to an
+// uninterrupted run (enforced by `make daemon-crash-smoke`).
 //
 // Telemetry is always enabled — a live /metrics endpoint is the point of
 // running a daemon — and all logging goes to stderr. On SIGINT/SIGTERM
@@ -47,6 +54,7 @@ type options struct {
 	noCache       bool
 	cacheDir      string
 	cacheMaxBytes int64
+	stateDir      string
 	maxInflight   int
 	maxBodyBytes  int64
 	flightRec     int
@@ -61,6 +69,7 @@ func registerFlags(fs *flag.FlagSet) *options {
 	fs.BoolVar(&o.noCache, "no-cache", false, "disable the shared run cache (repeat points re-simulate)")
 	fs.StringVar(&o.cacheDir, "cache-dir", "", "persist cached simulation points under this directory (empty = in-memory only)")
 	fs.Int64Var(&o.cacheMaxBytes, "cache-max-bytes", 0, "cap the -cache-dir gob layer at this many bytes, evicting oldest entries first (0 = unbounded)")
+	fs.StringVar(&o.stateDir, "state-dir", "", "journal async jobs under this directory and recover pending ones on restart (empty = jobs die with the process)")
 	fs.IntVar(&o.maxInflight, "max-inflight", 0, "concurrently admitted sweeps/fleets before shedding with 503 (0 = default 64)")
 	fs.Int64Var(&o.maxBodyBytes, "max-body-bytes", 0, "request body size limit in bytes (0 = default 1 MiB)")
 	fs.IntVar(&o.flightRec, "flight-recorder", 0, "record the last K DVFS epochs and enable GET /v1/flightrecorder (0 = off)")
@@ -98,6 +107,7 @@ func run(ctx context.Context, o *options, stderr io.Writer) error {
 		Jobs:         o.jobs,
 		MaxInflight:  o.maxInflight,
 		MaxBodyBytes: o.maxBodyBytes,
+		StateDir:     o.stateDir,
 	}
 	if !o.noCache {
 		cache, err := runcache.New(runcache.Options{Dir: o.cacheDir, MaxDiskBytes: o.cacheMaxBytes})
@@ -133,6 +143,9 @@ func run(ctx context.Context, o *options, stderr io.Writer) error {
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
+	}
+	if n := srv.RecoveredJobs(); n > 0 {
+		fmt.Fprintf(stderr, "greengpud: recovered %d pending job(s) from %s\n", n, o.stateDir)
 	}
 	fmt.Fprintf(stderr, "greengpud: listening on http://%s\n", ln.Addr())
 	serveErr := srv.Serve(ctx, ln, o.drainTimeout, stderr)

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"greengpu/internal/jobstore"
+)
+
+func TestStateDirFlag(t *testing.T) {
+	o := parseOptions(t, "-state-dir", "/tmp/state")
+	if o.stateDir != "/tmp/state" {
+		t.Fatalf("stateDir = %q", o.stateDir)
+	}
+	if d := parseOptions(t).stateDir; d != "" {
+		t.Fatalf("default stateDir = %q, want empty (jobs die with the process)", d)
+	}
+}
+
+// TestRunRecoversJournaledJob drives the crash half of the recovery story
+// in process: the state dir already holds an accept record with no
+// terminal record (what a SIGKILL mid-job leaves behind), and run() must
+// announce the recovery, re-execute the job, and serve its result under
+// the original id. The full SIGKILL round trip with byte-identity lives
+// in `make daemon-crash-smoke`.
+func TestRunRecoversJournaledJob(t *testing.T) {
+	stateDir := filepath.Join(t.TempDir(), "state")
+	j, _, err := jobstore.Open(stateDir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(jobstore.Record{
+		Seq: 0, Op: jobstore.OpAccept, Kind: "sweep",
+		Spec: "workloads=kmeans iters=4", At: time.Now().UnixNano(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	o := parseOptions(t, "-addr", "127.0.0.1:0", "-jobs", "1",
+		"-state-dir", stateDir, "-drain-timeout", "10s")
+	stderr := &safeBuffer{}
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, o, stderr) }()
+
+	url := baseURL(t, stderr)
+	if !strings.Contains(stderr.String(), "recovered 1 pending job(s)") {
+		t.Errorf("stderr missing recovery announcement:\n%s", stderr.String())
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(url + "/v1/results/0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			Status    string `json:"status"`
+			Recovered bool   `json:"recovered"`
+			Error     string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if st.Status == "done" {
+			if !st.Recovered {
+				t.Fatal("recovered job not flagged recovered")
+			}
+			break
+		}
+		if st.Status != "running" {
+			t.Fatalf("recovered job ended %q (%s)", st.Status, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("recovered job never finished")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("run did not drain; stderr:\n%s", stderr.String())
+	}
+
+	// The terminal record went down with the drain: a reopened journal has
+	// nothing pending.
+	j2, pending, err := jobstore.Open(stateDir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	if len(pending) != 0 {
+		t.Fatalf("journal still pending after clean drain: %+v", pending)
+	}
+}

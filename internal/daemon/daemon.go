@@ -41,6 +41,8 @@ import (
 	"greengpu/internal/cpusim"
 	"greengpu/internal/fleet"
 	"greengpu/internal/gpusim"
+	"greengpu/internal/iofault"
+	"greengpu/internal/jobstore"
 	"greengpu/internal/runcache"
 	"greengpu/internal/sweep"
 	"greengpu/internal/telemetry"
@@ -80,6 +82,10 @@ var (
 		"Sync requests or async jobs canceled before completion.")
 	metricShed = telemetry.NewCounter("greengpu_daemon_shed_total",
 		"Heavy requests rejected with 503 because max-inflight evaluations were already running.")
+	metricJobsList = telemetry.NewCounter("greengpu_daemon_jobs_list_requests_total",
+		"GET /v1/jobs requests received.")
+	metricRecovered = telemetry.NewCounter("greengpu_daemon_recovered_jobs_total",
+		"Pending async jobs re-executed from the journal after a restart.")
 )
 
 // Config assembles a Server. GPU, CPU, Bus and Profiles are required;
@@ -116,6 +122,18 @@ type Config struct {
 	// MaxJobs bounds retained async jobs; when exceeded, the oldest
 	// finished job is evicted. 0 selects DefaultMaxJobs.
 	MaxJobs int
+
+	// StateDir, when non-empty, makes async jobs durable: accepted specs
+	// are journaled (fsynced, CRC-framed) under this directory before the
+	// 202 is returned, and New re-executes any job that had no terminal
+	// record — deterministic replay through the engines and the run cache
+	// makes the recovered results byte-identical to an uninterrupted run.
+	// Empty keeps the pre-journal behavior: jobs die with the process.
+	StateDir string
+
+	// StateFS overrides the filesystem under the job journal; nil selects
+	// the real disk. Fault-injection tests thread an iofault.FaultFS here.
+	StateFS iofault.FS
 }
 
 // Defaults for the zero values of Config's limits.
@@ -136,6 +154,11 @@ type Server struct {
 	mux   *http.ServeMux
 	jobs  *jobStore
 	sem   chan struct{}
+
+	// journal persists async jobs when Config.StateDir is set; nil
+	// otherwise. recovered counts the pending jobs re-executed at New.
+	journal   *jobstore.Journal
+	recovered int
 
 	// baseCtx parents every async job and is installed as the HTTP
 	// server's base context, so cancel aborts all remaining work when a
@@ -187,9 +210,22 @@ func New(cfg Config) (*Server, error) {
 		baseCtx: ctx,
 		cancel:  cancel,
 	}
+	if cfg.StateDir != "" {
+		journal, pending, err := jobstore.Open(cfg.StateDir, cfg.StateFS)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.journal = journal
+		// Bound journal growth to the live job set; a failed compaction
+		// leaves the (valid, larger) journal in place and is not fatal.
+		_ = journal.Compact(pending)
+		s.recoverJobs(pending)
+	}
 	s.route("POST /v1/simulate", metricSimulate, s.handleSimulate)
 	s.route("POST /v1/sweep", metricSweep, s.handleSweep)
 	s.route("POST /v1/fleet", metricFleet, s.handleFleet)
+	s.route("GET /v1/jobs", metricJobsList, s.handleJobs)
 	s.route("GET /v1/results/{id}", metricResults, s.handleResultGet)
 	s.route("DELETE /v1/results/{id}", metricResults, s.handleResultDelete)
 	s.route("GET /v1/flightrecorder", metricFlightReq, s.handleFlightRecorder)
@@ -218,7 +254,7 @@ func allowedMethods(path string) string {
 	switch path {
 	case "/v1/simulate", "/v1/sweep", "/v1/fleet":
 		return "POST"
-	case "/v1/flightrecorder", "/v1/stats", "/healthz", "/metrics":
+	case "/v1/jobs", "/v1/flightrecorder", "/v1/stats", "/healthz", "/metrics":
 		return "GET"
 	}
 	if strings.HasPrefix(path, "/v1/results/") {
@@ -230,10 +266,15 @@ func allowedMethods(path string) string {
 // ServeHTTP dispatches to the daemon's routes.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close cancels every async job and sync request still running. Serve
-// performs a graceful variant; Close is the teardown for tests and for
-// drain deadlines.
-func (s *Server) Close() { s.cancel() }
+// Close cancels every async job and sync request still running and
+// closes the job journal. Serve performs a graceful variant; Close is
+// the teardown for tests and for drain deadlines.
+func (s *Server) Close() {
+	s.cancel()
+	if s.journal != nil {
+		_ = s.journal.Close()
+	}
+}
 
 // route registers h wrapped in the standard instrumentation.
 func (s *Server) route(pattern string, c *telemetry.Counter, h http.HandlerFunc) {
@@ -535,7 +576,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if req.Async {
 		s.startJob(w, jobSweep, req.Spec, release, func(ctx context.Context, j *job) {
 			results, err := s.eng.RunContext(ctx, spec)
-			s.jobs.finish(j, ctx, err, func() { j.sweepRes = results })
+			s.finishJob(j, ctx, err, func() { j.sweepRes = results })
 		})
 		return
 	}
@@ -650,7 +691,7 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 	if req.Async {
 		s.startJob(w, jobFleet, req.Spec, release, func(ctx context.Context, j *job) {
 			res, err := s.fleng.RunContext(ctx, spec)
-			s.jobs.finish(j, ctx, err, func() { j.fleetRes = res })
+			s.finishJob(j, ctx, err, func() { j.fleetRes = res })
 		})
 		return
 	}

@@ -1,6 +1,11 @@
 // Async job store: sweep and fleet requests submitted with async=true
 // detach into jobs that survive the submitting connection and are
-// queried (or canceled) through /v1/results/{id}.
+// queried (or canceled) through /v1/results/{id}, listed through
+// /v1/jobs, and — when the daemon runs with -state-dir — journaled
+// through internal/jobstore so a restart recovers and re-executes
+// whatever was still running. Replay is deterministic: recovered jobs go
+// back through the same engines and the same run cache, so their results
+// are byte-identical to an uninterrupted run.
 
 package daemon
 
@@ -9,9 +14,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
+	"strconv"
 	"sync"
+	"time"
 
 	"greengpu/internal/fleet"
+	"greengpu/internal/jobstore"
 	"greengpu/internal/sweep"
 )
 
@@ -26,25 +35,32 @@ const (
 	jobCanceled = "canceled"
 )
 
-// job is one detached evaluation. All mutable fields are guarded by the
-// owning store's mutex.
+// job is one detached evaluation. The identity fields (id through
+// recovered) are immutable after registration; the mutable tail is
+// guarded by the owning store's mutex.
 type job struct {
-	id     string
-	kind   string
-	spec   string
-	cancel context.CancelFunc
+	id        string
+	seq       uint64
+	kind      string
+	spec      string
+	cancel    context.CancelFunc
+	created   time.Time
+	recovered bool
 
 	state    string
 	err      string
+	finished time.Time
 	sweepRes []sweep.PointResult
 	fleetRes *fleet.Result
 }
 
 // jobStore holds jobs by id, evicting the oldest finished jobs beyond
-// the retention bound. Running jobs are never evicted.
+// the retention bound. Running jobs are never evicted, and every state
+// transition — registration, eviction, completion, discard — happens
+// under the one mutex, so a DELETE can never race a completion write.
 type jobStore struct {
 	mu    sync.Mutex
-	next  int
+	next  uint64 // id counter when no journal assigns sequence numbers
 	max   int
 	jobs  map[string]*job
 	order []string // insertion order, the eviction scan order
@@ -54,14 +70,20 @@ func newJobStore(max int) *jobStore {
 	return &jobStore{max: max, jobs: make(map[string]*job)}
 }
 
-// add registers a new running job and returns it, evicting the oldest
-// finished job when the store is over its bound.
-func (st *jobStore) add(kind, spec string, cancel context.CancelFunc) *job {
+// nextSeq reserves the next id for a journal-less server (the journal's
+// sequence numbers take over when one is attached).
+func (st *jobStore) nextSeq() uint64 {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.next++
-	j := &job{id: fmt.Sprintf("%d", st.next), kind: kind, spec: spec,
-		cancel: cancel, state: jobRunning}
+	return st.next
+}
+
+// add registers a prepared job, evicting the oldest finished job when
+// the store is over its bound.
+func (st *jobStore) add(j *job) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	st.jobs[j.id] = j
 	st.order = append(st.order, j.id)
 	for len(st.order) > st.max {
@@ -79,7 +101,6 @@ func (st *jobStore) add(kind, spec string, cancel context.CancelFunc) *job {
 			break // every retained job is still running; keep them all
 		}
 	}
-	return j
 }
 
 // get returns the job by id.
@@ -90,21 +111,46 @@ func (st *jobStore) get(id string) (*job, bool) {
 	return j, ok
 }
 
-// finish records a job's outcome: canceled when its context was
-// canceled, failed on any other error, done otherwise (store runs the
-// result-attaching closure under the lock).
-func (st *jobStore) finish(j *job, ctx context.Context, err error, attach func()) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
+// terminalState maps an evaluation outcome to a job state.
+func terminalState(ctx context.Context, err error) string {
 	switch {
 	case ctx.Err() != nil || errors.Is(err, context.Canceled):
-		j.state = jobCanceled
-		metricCanceled.Inc()
+		return jobCanceled
 	case err != nil:
-		j.state = jobFailed
-		j.err = err.Error()
+		return jobFailed
 	default:
-		j.state = jobDone
+		return jobDone
+	}
+}
+
+// finishJob records a job's outcome. The terminal record is appended to
+// the journal (when one is attached) *before* the in-memory state flips,
+// so a job that became evictable as finished is always journaled as
+// finished — a crash in between re-runs the job, which deterministic
+// replay makes harmless. Append failures are ignored for the same
+// reason. The state flip, the result attach and the finished timestamp
+// all happen under the store mutex.
+func (s *Server) finishJob(j *job, ctx context.Context, err error, attach func()) {
+	state := terminalState(ctx, err)
+	errText := ""
+	if state == jobFailed {
+		errText = err.Error()
+	}
+	now := time.Now()
+	if s.journal != nil {
+		_ = s.journal.Append(jobstore.Record{
+			Seq: j.seq, Op: jobstore.OpFinish, State: state, Err: errText, At: now.UnixNano(),
+		})
+	}
+	s.jobs.mu.Lock()
+	defer s.jobs.mu.Unlock()
+	j.state = state
+	j.err = errText
+	j.finished = now
+	if state == jobCanceled {
+		metricCanceled.Inc()
+	}
+	if state == jobDone && attach != nil {
 		attach()
 	}
 }
@@ -138,25 +184,49 @@ func (st *jobStore) counts() JobCounts {
 
 // JobResponse is the GET /v1/results/{id} result (and the 202 body of an
 // async submission, with only the identity fields set). Points or the
-// fleet fields are present once the job is done.
+// fleet fields are present once the job is done; Recovered marks jobs
+// re-executed from the journal after a restart.
 type JobResponse struct {
-	ID     string `json:"id"`
-	Kind   string `json:"kind"`
-	Spec   string `json:"spec"`
-	Status string `json:"status"`
-	Error  string `json:"error,omitempty"`
+	ID        string `json:"id"`
+	Kind      string `json:"kind"`
+	Spec      string `json:"spec"`
+	Status    string `json:"status"`
+	Recovered bool   `json:"recovered,omitempty"`
+	Error     string `json:"error,omitempty"`
 
 	Points  []SweepPoint  `json:"points,omitempty"`
 	Groups  []FleetGroup  `json:"groups,omitempty"`
 	Summary *FleetSummary `json:"summary,omitempty"`
 }
 
-// startJob launches run as a detached job under the server's base
-// context and answers 202 with the job id. The admission slot transfers
-// to the job and is released when it finishes.
+// startJob journals the accepted request (when a journal is attached),
+// launches run as a detached job under the server's base context, and
+// answers 202 with the job id. The fsync happens before the 202 leaves
+// the server: once a client holds an id, a crash cannot lose the job. A
+// journal write failure is a 500 and the job never starts — accepting
+// unjournaled work would silently drop it on restart. The admission slot
+// transfers to the job and is released when it finishes.
 func (s *Server) startJob(w http.ResponseWriter, kind, spec string, release func(), run func(ctx context.Context, j *job)) {
 	ctx, cancel := context.WithCancel(s.baseCtx)
-	j := s.jobs.add(kind, spec, cancel)
+	j := &job{kind: kind, spec: spec, cancel: cancel, created: time.Now(), state: jobRunning}
+	if s.journal != nil {
+		j.seq = s.journal.NextSeq()
+	} else {
+		j.seq = s.jobs.nextSeq()
+	}
+	j.id = strconv.FormatUint(j.seq, 10)
+	if s.journal != nil {
+		err := s.journal.Append(jobstore.Record{
+			Seq: j.seq, Op: jobstore.OpAccept, Kind: kind, Spec: spec, At: j.created.UnixNano(),
+		})
+		if err != nil {
+			cancel()
+			release()
+			writeError(w, http.StatusInternalServerError, "job journal write failed: "+err.Error())
+			return
+		}
+	}
+	s.jobs.add(j)
 	metricJobs.Inc()
 	s.bg.Add(1)
 	go func() {
@@ -170,6 +240,70 @@ func (s *Server) startJob(w http.ResponseWriter, kind, spec string, release func
 	writeJSONBody(w, JobResponse{ID: j.id, Kind: kind, Spec: spec, Status: jobRunning})
 }
 
+// recoverJobs re-registers and re-executes the journal's pending jobs.
+// Each recovered job waits for an admission slot like a fresh request
+// (recovery cannot starve live traffic past MaxInflight) and runs under
+// the base context, so drains treat it exactly like any other job. A
+// pending record whose spec no longer parses — a daemon downgrade, a
+// removed workload — is journaled as failed rather than retried forever.
+func (s *Server) recoverJobs(pending []jobstore.Record) {
+	for _, rec := range pending {
+		rec := rec
+		ctx, cancel := context.WithCancel(s.baseCtx)
+		j := &job{
+			seq: rec.Seq, id: strconv.FormatUint(rec.Seq, 10),
+			kind: rec.Kind, spec: rec.Spec, cancel: cancel,
+			created: time.Unix(0, rec.At), recovered: true, state: jobRunning,
+		}
+		var run func(ctx context.Context)
+		switch rec.Kind {
+		case jobSweep:
+			spec, err := sweep.ParseSpec(rec.Spec)
+			if err == nil {
+				run = func(ctx context.Context) {
+					results, rerr := s.eng.RunContext(ctx, spec)
+					s.finishJob(j, ctx, rerr, func() { j.sweepRes = results })
+				}
+			} else {
+				run = func(ctx context.Context) { s.finishJob(j, ctx, err, nil) }
+			}
+		case jobFleet:
+			spec, err := fleet.ParseSpec(rec.Spec)
+			if err == nil {
+				run = func(ctx context.Context) {
+					res, rerr := s.fleng.RunContext(ctx, spec)
+					s.finishJob(j, ctx, rerr, func() { j.fleetRes = res })
+				}
+			} else {
+				run = func(ctx context.Context) { s.finishJob(j, ctx, err, nil) }
+			}
+		default:
+			err := fmt.Errorf("unknown journaled job kind %q", rec.Kind)
+			run = func(ctx context.Context) { s.finishJob(j, ctx, err, nil) }
+		}
+		s.jobs.add(j)
+		s.recovered++
+		metricRecovered.Inc()
+		s.bg.Add(1)
+		go func() {
+			defer s.bg.Done()
+			defer cancel()
+			select {
+			case s.sem <- struct{}{}:
+			case <-ctx.Done():
+				s.finishJob(j, ctx, ctx.Err(), nil)
+				return
+			}
+			defer func() { <-s.sem }()
+			run(ctx)
+		}()
+	}
+}
+
+// RecoveredJobs reports how many pending jobs the server re-executed
+// from its journal at startup (cmd/greengpud logs it).
+func (s *Server) RecoveredJobs() int { return s.recovered }
+
 // handleResultGet serves a job's status and, once done, its results —
 // JSON by default, the CLI-identical CSV with ?format=csv (sweep jobs
 // render the sweep_points table; fleet jobs honor ?table like the sync
@@ -181,7 +315,8 @@ func (s *Server) handleResultGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.jobs.mu.Lock()
-	resp := JobResponse{ID: j.id, Kind: j.kind, Spec: j.spec, Status: j.state, Error: j.err}
+	resp := JobResponse{ID: j.id, Kind: j.kind, Spec: j.spec, Status: j.state,
+		Recovered: j.recovered, Error: j.err}
 	sweepRes, fleetRes := j.sweepRes, j.fleetRes
 	s.jobs.mu.Unlock()
 	if resp.Status == jobDone && r.URL.Query().Get("format") == "csv" {
@@ -206,12 +341,82 @@ func (s *Server) handleResultGet(w http.ResponseWriter, r *http.Request) {
 
 // handleResultDelete cancels a running job (its remaining points are
 // skipped; completed points stay cached) or discards a finished one.
+// Both happen under the store mutex: a cancel observes a consistent
+// state, and a discard can never race the completion write or an
+// eviction scan.
 func (s *Server) handleResultDelete(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.jobs.get(r.PathValue("id"))
+	id := r.PathValue("id")
+	st := s.jobs
+	st.mu.Lock()
+	j, ok := st.jobs[id]
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("no such job %q", r.PathValue("id")))
+		st.mu.Unlock()
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no such job %q", id))
 		return
 	}
-	j.cancel()
-	writeJSON(w, map[string]string{"id": j.id, "status": "cancel requested"})
+	if j.state == jobRunning {
+		j.cancel()
+		st.mu.Unlock()
+		writeJSON(w, map[string]string{"id": id, "status": "cancel requested"})
+		return
+	}
+	delete(st.jobs, id)
+	for i, oid := range st.order {
+		if oid == id {
+			st.order = append(st.order[:i], st.order[i+1:]...)
+			break
+		}
+	}
+	st.mu.Unlock()
+	writeJSON(w, map[string]string{"id": id, "status": "discarded"})
+}
+
+// JobSummary is one row of the GET /v1/jobs index.
+type JobSummary struct {
+	ID   string `json:"id"`
+	Kind string `json:"kind"`
+	// Status is running, done, failed or canceled.
+	Status string `json:"status"`
+	// Created is the accept time, RFC 3339 with nanoseconds. For
+	// recovered jobs it is the *original* accept time from the journal,
+	// not the restart.
+	Created string `json:"created"`
+	// Finished is the terminal-state time; empty while running.
+	Finished string `json:"finished,omitempty"`
+	// Recovered marks jobs re-executed from the journal after a restart.
+	Recovered bool `json:"recovered,omitempty"`
+}
+
+// JobsResponse is the GET /v1/jobs result: every retained job, ordered
+// by id.
+type JobsResponse struct {
+	Jobs []JobSummary `json:"jobs"`
+}
+
+// handleJobs serves the job index, closing the gap where clients had to
+// remember every id they were handed.
+func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	st := s.jobs
+	st.mu.Lock()
+	out := make([]JobSummary, 0, len(st.jobs))
+	for _, j := range st.jobs {
+		row := JobSummary{
+			ID:        j.id,
+			Kind:      j.kind,
+			Status:    j.state,
+			Created:   j.created.UTC().Format(time.RFC3339Nano),
+			Recovered: j.recovered,
+		}
+		if j.state != jobRunning {
+			row.Finished = j.finished.UTC().Format(time.RFC3339Nano)
+		}
+		out = append(out, row)
+	}
+	st.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool {
+		na, _ := strconv.ParseUint(out[a].ID, 10, 64)
+		nb, _ := strconv.ParseUint(out[b].ID, 10, 64)
+		return na < nb
+	})
+	writeJSON(w, JobsResponse{Jobs: out})
 }

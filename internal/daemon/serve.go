@@ -68,6 +68,11 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener, drainTimeout time.D
 	}
 	s.cancel()
 
+	if s.journal != nil {
+		// Every job has drained (or been canceled and journaled as such);
+		// the journal can close cleanly.
+		_ = s.journal.Close()
+	}
 	if s.cfg.Cache != nil {
 		fmt.Fprintln(logw, "greengpud:", s.cfg.Cache.Stats())
 	}

@@ -1,0 +1,259 @@
+package iofault
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestPlanValidate(t *testing.T) {
+	p := Default(1)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Default plan invalid: %v", err)
+	}
+	bad := Plan{WriteErrRate: 1.5}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("rate > 1 accepted")
+	}
+	neg := Plan{SyncErrRate: -0.1}
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+func TestZeroPlanPassthrough(t *testing.T) {
+	fsys := Wrap(Disk, Plan{Seed: 42})
+	if fsys != Disk {
+		t.Fatal("zero plan should return the wrapped FS unchanged")
+	}
+}
+
+// writeAll drives f.Write until n bytes total are attempted, returning the
+// first error.
+func writeAll(f File, p []byte) error {
+	for len(p) > 0 {
+		n, err := f.Write(p)
+		if err != nil {
+			return err
+		}
+		p = p[n:]
+	}
+	return nil
+}
+
+func TestWriteErrorInjection(t *testing.T) {
+	dir := t.TempDir()
+	fsys := Wrap(Disk, Plan{Seed: 7, WriteErrRate: 1}).(*FaultFS)
+	f, err := fsys.CreateTemp(dir, "w-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n, err := f.Write([]byte("hello"))
+	if n != 0 || !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("Write = (%d, %v), want (0, ErrNoSpace)", n, err)
+	}
+	if c := fsys.Counts(); c.WriteErrors != 1 || c.Total() != 1 {
+		t.Fatalf("counts = %+v, want one write error", c)
+	}
+	info, err := os.Stat(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != 0 {
+		t.Fatalf("failed write landed %d bytes", info.Size())
+	}
+}
+
+func TestShortWriteInjection(t *testing.T) {
+	dir := t.TempDir()
+	fsys := Wrap(Disk, Plan{Seed: 7, ShortWriteRate: 1}).(*FaultFS)
+	f, err := fsys.CreateTemp(dir, "s-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	payload := []byte("0123456789")
+	n, err := f.Write(payload)
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("short write error = %v, want ErrNoSpace", err)
+	}
+	if n != len(payload)/2 {
+		t.Fatalf("short write landed %d bytes, want %d", n, len(payload)/2)
+	}
+	if c := fsys.Counts(); c.ShortWrites != 1 {
+		t.Fatalf("counts = %+v, want one short write", c)
+	}
+}
+
+func TestSyncErrorInjection(t *testing.T) {
+	dir := t.TempDir()
+	fsys := Wrap(Disk, Plan{Seed: 7, SyncErrRate: 1}).(*FaultFS)
+	f, err := fsys.CreateTemp(dir, "y-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := writeAll(f, []byte("durable?")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrIO) {
+		t.Fatalf("Sync = %v, want ErrIO", err)
+	}
+	if c := fsys.Counts(); c.SyncErrors != 1 {
+		t.Fatalf("counts = %+v, want one sync error", c)
+	}
+}
+
+func TestReadCorruptionInjection(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data")
+	want := []byte("the quick brown fox jumps over the lazy dog")
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fsys := Wrap(Disk, Plan{Seed: 7, ReadCorruptRate: 1}).(*FaultFS)
+	f, err := fsys.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d bytes, want %d", len(got), len(want))
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != want[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("rate-1 corruption left the buffer intact")
+	}
+	if fsys.Counts().ReadCorruptions == 0 {
+		t.Fatal("no corruption counted")
+	}
+}
+
+func TestRenameErrorInjection(t *testing.T) {
+	dir := t.TempDir()
+	oldp := filepath.Join(dir, "old")
+	newp := filepath.Join(dir, "new")
+	if err := os.WriteFile(oldp, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fsys := Wrap(Disk, Plan{Seed: 7, RenameErrRate: 1}).(*FaultFS)
+	if err := fsys.Rename(oldp, newp); !errors.Is(err, ErrIO) {
+		t.Fatalf("Rename = %v, want ErrIO", err)
+	}
+	if _, err := os.Stat(oldp); err != nil {
+		t.Fatalf("failed rename moved the old path: %v", err)
+	}
+	if _, err := os.Stat(newp); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("failed rename created the new path: %v", err)
+	}
+	if c := fsys.Counts(); c.RenameErrors != 1 {
+		t.Fatalf("counts = %+v, want one rename error", c)
+	}
+}
+
+// TestDeterministicSchedule pins that two FaultFS instances with the same
+// plan inject the identical fault sequence for the identical call
+// sequence.
+func TestDeterministicSchedule(t *testing.T) {
+	run := func() (faults []bool, counts Counts) {
+		dir := t.TempDir()
+		fsys := Wrap(Disk, Plan{Seed: 99, WriteErrRate: 0.4}).(*FaultFS)
+		f, err := fsys.CreateTemp(dir, "d-*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		for i := 0; i < 64; i++ {
+			_, err := f.Write([]byte("abc"))
+			faults = append(faults, err != nil)
+		}
+		return faults, fsys.Counts()
+	}
+	a, ca := run()
+	b, cb := run()
+	if ca != cb {
+		t.Fatalf("counts diverged: %+v vs %+v", ca, cb)
+	}
+	if ca.WriteErrors == 0 || ca.WriteErrors == 64 {
+		t.Fatalf("rate 0.4 over 64 draws gave %d faults; schedule looks degenerate", ca.WriteErrors)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault schedule diverged at call %d", i)
+		}
+	}
+}
+
+func TestWrapPanicsOnInvalidPlan(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Wrap accepted an invalid plan")
+		}
+	}()
+	Wrap(Disk, Plan{ReadCorruptRate: 2})
+}
+
+func TestRetryBoundedAttempts(t *testing.T) {
+	var slept []time.Duration
+	p := RetryPolicy{Attempts: 4, Backoff: time.Millisecond, BackoffMax: 2 * time.Millisecond,
+		Sleep: func(d time.Duration) { slept = append(slept, d) }}
+	calls := 0
+	err := p.Do(func() error { calls++; return ErrNoSpace })
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("Do = %v, want ErrNoSpace", err)
+	}
+	if calls != 4 {
+		t.Fatalf("op ran %d times, want 4", calls)
+	}
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond, 2 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("backoff %d = %v, want %v (doubling capped at BackoffMax)", i, slept[i], want[i])
+		}
+	}
+}
+
+func TestRetrySucceedsMidway(t *testing.T) {
+	p := RetryPolicy{Sleep: func(time.Duration) {}}
+	calls := 0
+	err := p.Do(func() error {
+		calls++
+		if calls < 2 {
+			return ErrIO
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do = %v, want nil", err)
+	}
+	if calls != 2 {
+		t.Fatalf("op ran %d times, want 2", calls)
+	}
+}
+
+func TestRetryValidate(t *testing.T) {
+	ok := RetryPolicy{}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("zero policy invalid: %v", err)
+	}
+	bad := RetryPolicy{Attempts: -1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative attempts accepted")
+	}
+}

@@ -1,0 +1,394 @@
+// Package jobstore is a write-ahead journal for the daemon's async jobs.
+//
+// The daemon accepts long sweeps and fleet studies as cancelable
+// background jobs; before this package a restart silently dropped every
+// job still running. Because the engines are deterministic and memoized
+// through the content-addressed run cache, recovery does not need
+// checkpoints: it is enough to make the *accepted request* durable and
+// replay it. The journal therefore records exactly two things per job —
+// an accept record (kind + spec), fsynced before the HTTP 202 leaves the
+// server, and a terminal record (done/failed/canceled) appended on
+// completion. Jobs with an accept but no terminal record at open are the
+// pending set the daemon re-executes on startup; replay hits the warm
+// cache and produces byte-identical results (pinned by the
+// daemon-crash-smoke gate).
+//
+// # On-disk format
+//
+// The journal is a single append-only file of CRC-framed records:
+//
+//	[u32 payload length][u32 CRC-32C of payload][payload]
+//
+// with little-endian integers and a JSON-encoded Record as payload. A
+// crash can tear the tail of the file mid-frame; Open truncates any
+// trailing bytes that do not form a complete, checksum-valid frame and
+// continues — a partial record is never surfaced. Corruption *before* the
+// tail (a bad CRC mid-file) also truncates from the first bad frame:
+// everything after it has unknown alignment. Replay is idempotent: a
+// duplicated accept for a seq already seen replaces the earlier one, and
+// terminal records for unknown seqs are ignored, so retried appends are
+// harmless.
+//
+// All I/O goes through an iofault.FS, so the storage-fault suite can
+// inject ENOSPC, short writes, and fsync failures underneath; transient
+// failures are retried with iofault.RetryPolicy after rewinding the file
+// to the last committed length, so a torn frame from a failed attempt is
+// never left behind a successful one.
+package jobstore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"greengpu/internal/iofault"
+	"greengpu/internal/telemetry"
+)
+
+// Journal metrics (see docs/OBSERVABILITY.md "Infrastructure faults").
+// No-ops unless telemetry is enabled.
+var (
+	metricAppends = telemetry.NewCounter("greengpu_jobstore_appends_total",
+		"Records durably appended to the job journal.")
+	metricTornTails = telemetry.NewCounter("greengpu_jobstore_torn_tails_total",
+		"Torn or corrupt journal tails truncated at open.")
+)
+
+// Record ops.
+const (
+	// OpAccept journals an accepted job before its 202 is written.
+	OpAccept = "accept"
+	// OpFinish journals a job's terminal state.
+	OpFinish = "finish"
+)
+
+// Record is one journal entry. Accept records carry the replayable
+// request (Kind + Spec); finish records carry the terminal State and, for
+// failures, the error text.
+type Record struct {
+	// Seq is the job's journal-assigned sequence number; it doubles as
+	// the daemon's job id so ids survive restarts.
+	Seq uint64 `json:"seq"`
+	// Op is OpAccept or OpFinish.
+	Op string `json:"op"`
+	// Kind is the job kind ("sweep" or "fleet") on accept records.
+	Kind string `json:"kind,omitempty"`
+	// Spec is the job's spec string on accept records — the full
+	// replayable request.
+	Spec string `json:"spec,omitempty"`
+	// State is the terminal state ("done", "failed", "canceled") on
+	// finish records.
+	State string `json:"state,omitempty"`
+	// Err is the failure text on failed finish records.
+	Err string `json:"err,omitempty"`
+	// At is the record's wall-clock time in Unix nanoseconds.
+	At int64 `json:"at"`
+}
+
+// frameHeaderSize is the per-record framing overhead: u32 length + u32 CRC.
+const frameHeaderSize = 8
+
+// MaxPayload bounds a single record's JSON payload. Specs are short
+// strings; anything larger in a length header is corruption, and the
+// decoder treats it as such rather than allocating attacker-controlled
+// sizes.
+const MaxPayload = 1 << 20
+
+// castagnoli is the CRC-32C table (same polynomial the cache's gob layer
+// trusts iSCSI/ext4 with).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// DecodeAll decodes every complete, checksum-valid frame from the start
+// of data. It returns the records and the byte length of the valid
+// prefix; data[valid:] is the torn or corrupt tail (empty when the whole
+// buffer decodes). It never panics on arbitrary input — FuzzJournalDecode
+// pins that — and never returns a record from a partial frame.
+func DecodeAll(data []byte) (recs []Record, valid int) {
+	off := 0
+	for {
+		if len(data)-off < frameHeaderSize {
+			return recs, off
+		}
+		n := binary.LittleEndian.Uint32(data[off:])
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if n > MaxPayload || len(data)-off-frameHeaderSize < int(n) {
+			return recs, off
+		}
+		payload := data[off+frameHeaderSize : off+frameHeaderSize+int(n)]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return recs, off
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, off
+		}
+		recs = append(recs, rec)
+		off += frameHeaderSize + int(n)
+	}
+}
+
+// appendFrame appends one CRC frame for payload to buf and returns the
+// extended slice.
+func appendFrame(buf, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
+	return append(append(buf, hdr[:]...), payload...)
+}
+
+// Pending reduces a replayed record stream to the jobs with an accept but
+// no terminal record, in accept order. Duplicate accepts for one seq keep
+// the last; finish records for unknown seqs are ignored (both arise from
+// retried appends and are harmless).
+func Pending(recs []Record) []Record {
+	byseq := make(map[uint64]int, len(recs))
+	var out []Record
+	for _, r := range recs {
+		switch r.Op {
+		case OpAccept:
+			if i, ok := byseq[r.Seq]; ok {
+				out[i] = r
+				continue
+			}
+			byseq[r.Seq] = len(out)
+			out = append(out, r)
+		case OpFinish:
+			if i, ok := byseq[r.Seq]; ok {
+				out[i].Op = "" // tombstone
+			}
+		}
+	}
+	pend := out[:0]
+	for _, r := range out {
+		if r.Op == OpAccept {
+			pend = append(pend, r)
+		}
+	}
+	return pend
+}
+
+// Journal is an open job journal. Append is safe for concurrent use; Open
+// and Close are not.
+type Journal struct {
+	mu        sync.Mutex
+	fsys      iofault.FS
+	path      string
+	f         iofault.File
+	committed int64 // durable length: every byte below this is a whole frame
+	next      uint64
+	retry     iofault.RetryPolicy
+	closed    bool
+}
+
+// journalFile is the journal's file name inside the state directory.
+const journalFile = "jobs.journal"
+
+// Open opens (creating if needed) the journal under dir, replays it, and
+// returns the pending accept records awaiting re-execution. A torn or
+// corrupt tail is truncated in place before the journal accepts new
+// appends. fsys nil means iofault.Disk.
+func Open(dir string, fsys iofault.FS) (*Journal, []Record, error) {
+	if fsys == nil {
+		fsys = iofault.Disk
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("jobstore: %w", err)
+	}
+	path := filepath.Join(dir, journalFile)
+	data, err := readAll(fsys, path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("jobstore: read %s: %w", path, err)
+	}
+	recs, valid := DecodeAll(data)
+	if valid < len(data) {
+		metricTornTails.Inc()
+		if err := fsys.Truncate(path, int64(valid)); err != nil {
+			return nil, nil, fmt.Errorf("jobstore: truncate torn tail of %s: %w", path, err)
+		}
+	}
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("jobstore: open %s: %w", path, err)
+	}
+	var next uint64
+	for _, r := range recs {
+		if r.Seq >= next {
+			next = r.Seq + 1
+		}
+	}
+	j := &Journal{
+		fsys:      fsys,
+		path:      path,
+		f:         f,
+		committed: int64(valid),
+		next:      next,
+	}
+	return j, Pending(recs), nil
+}
+
+// readAll reads path fully through fsys, returning nil for a missing file.
+func readAll(fsys iofault.FS, path string) ([]byte, error) {
+	f, err := fsys.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// NextSeq reserves and returns the next sequence number. The daemon uses
+// it as the job id it journals and returns to the client.
+func (j *Journal) NextSeq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	seq := j.next
+	j.next++
+	return seq
+}
+
+// SetRetry replaces the append retry policy (default: RetryPolicy zero
+// value — 3 attempts, 1ms doubling backoff capped at 50ms).
+func (j *Journal) SetRetry(p iofault.RetryPolicy) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.retry = p
+}
+
+// Append durably appends rec: the frame is written and fsynced before
+// Append returns nil. Transient write failures are retried under the
+// journal's RetryPolicy; between attempts the file is rewound (truncated)
+// to the last committed length so a torn frame from a failed attempt
+// never precedes a successful one. On a returned error the journal is
+// still usable and the file holds only whole frames.
+func (j *Journal) Append(rec Record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("jobstore: encode record: %w", err)
+	}
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("jobstore: record payload %d bytes exceeds %d", len(payload), MaxPayload)
+	}
+	frame := appendFrame(nil, payload)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("jobstore: append to closed journal")
+	}
+	err = j.retry.Do(func() error {
+		// Rewind any torn frame a previous attempt left. O_APPEND writes
+		// land at the (new) end after truncation.
+		if err := j.fsys.Truncate(j.path, j.committed); err != nil {
+			return err
+		}
+		if err := writeFull(j.f, frame); err != nil {
+			return err
+		}
+		return j.f.Sync()
+	})
+	if err != nil {
+		// Leave only whole frames behind even on final failure.
+		if terr := j.fsys.Truncate(j.path, j.committed); terr != nil {
+			return fmt.Errorf("jobstore: append failed (%w) and rewind failed (%v)", err, terr)
+		}
+		return fmt.Errorf("jobstore: append: %w", err)
+	}
+	j.committed += int64(len(frame))
+	metricAppends.Inc()
+	return nil
+}
+
+// writeFull drives f.Write until every byte of p is written or an error
+// occurs.
+func writeFull(f iofault.File, p []byte) error {
+	for len(p) > 0 {
+		n, err := f.Write(p)
+		if err != nil {
+			return err
+		}
+		p = p[n:]
+	}
+	return nil
+}
+
+// Compact rewrites the journal to hold only accept records for the given
+// pending seqs (typically the still-running jobs), dropping finished
+// history. It writes a temp file, fsyncs, and renames over the journal;
+// on any failure the original journal is left untouched and the error
+// returned. The daemon compacts at open, bounding journal growth to the
+// live job set.
+func (j *Journal) Compact(pending []Record) error {
+	var buf []byte
+	for _, r := range pending {
+		payload, err := json.Marshal(r)
+		if err != nil {
+			return fmt.Errorf("jobstore: encode record: %w", err)
+		}
+		buf = appendFrame(buf, payload)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("jobstore: compact closed journal")
+	}
+	dir := filepath.Dir(j.path)
+	tmp, err := j.fsys.CreateTemp(dir, journalFile+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("jobstore: compact: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		j.fsys.Remove(tmpName)
+		return fmt.Errorf("jobstore: compact: %w", err)
+	}
+	if err := writeFull(tmp, buf); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fail(err)
+	}
+	if err := j.fsys.Rename(tmpName, j.path); err != nil {
+		return fail(err)
+	}
+	// Reopen the append handle on the new file.
+	j.f.Close()
+	f, err := j.fsys.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobstore: reopen after compact: %w", err)
+	}
+	j.f = f
+	j.committed = int64(len(buf))
+	return nil
+}
+
+// Close syncs and closes the journal. It is idempotent.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	serr := j.f.Sync()
+	cerr := j.f.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// Path returns the journal file's path (for logs and tests).
+func (j *Journal) Path() string {
+	return j.path
+}

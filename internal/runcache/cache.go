@@ -5,7 +5,6 @@ import (
 	"encoding/gob"
 	"encoding/hex"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -15,6 +14,7 @@ import (
 
 	"greengpu/internal/core"
 	"greengpu/internal/division"
+	"greengpu/internal/iofault"
 	"greengpu/internal/predict"
 	"greengpu/internal/telemetry"
 )
@@ -141,12 +141,20 @@ type Options struct {
 	// time) are removed until the layer fits the budget again — the
 	// freshest points survive, the stalest recompute.
 	MaxDiskBytes int64
+	// FS overrides the filesystem under the disk layer; nil selects the
+	// real disk. Fault-injection tests thread an iofault.FaultFS here to
+	// prove the quarantine-and-recompute path holds under ENOSPC, short
+	// writes, fsync failures, read corruption and rename failures. (The
+	// cross-process advisory locks stay on the real OS: they are a
+	// liveness optimization, not a correctness seam.)
+	FS iofault.FS
 }
 
 // Cache memoizes simulation points by fingerprint. It is safe for
 // concurrent use by any number of goroutines.
 type Cache struct {
 	dir     string // versioned disk root, "" when disabled
+	fsys    iofault.FS
 	max     int
 	maxDisk int64
 
@@ -186,14 +194,18 @@ func New(o Options) (*Cache, error) {
 		return nil, fmt.Errorf("runcache: MaxDiskBytes must be non-negative")
 	}
 	c := &Cache{
+		fsys:    o.FS,
 		max:     o.MaxEntries,
 		maxDisk: o.MaxDiskBytes,
 		entries: make(map[Key]*entry),
 		lru:     list.New(),
 	}
+	if c.fsys == nil {
+		c.fsys = iofault.Disk
+	}
 	if o.Dir != "" {
 		c.dir = filepath.Join(o.Dir, fmt.Sprintf("v%d", SchemaVersion))
-		if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		if err := c.fsys.MkdirAll(c.dir, 0o755); err != nil {
 			return nil, fmt.Errorf("runcache: %w", err)
 		}
 	}
@@ -357,7 +369,7 @@ func (c *Cache) load(key Key) (Value, bool) {
 	if c.dir == "" {
 		return Value{}, false
 	}
-	f, err := os.Open(c.path(key))
+	f, err := c.fsys.Open(c.path(key))
 	if err != nil {
 		return Value{}, false
 	}
@@ -378,31 +390,42 @@ func (c *Cache) quarantine(key Key) {
 	c.corrupt.Add(1)
 	metricCorrupt.Inc()
 	p := c.path(key)
-	if err := os.Rename(p, p+".bad"); err != nil {
-		os.Remove(p)
+	if err := c.fsys.Rename(p, p+".bad"); err != nil {
+		c.fsys.Remove(p)
 	}
 }
 
-// store writes one entry to the disk layer atomically (temp file + rename),
-// so concurrent processes and crashes can never expose a half-written
-// entry under the final name.
+// store writes one entry to the disk layer atomically (temp file + fsync
+// + rename), so concurrent processes and crashes can never expose a
+// half-written entry under the final name. Every step is best effort — a
+// failed store just means a recompute later — but a failure at any step
+// removes the temp file: injected fault sweeps assert the layer never
+// accumulates partial entries.
 func (c *Cache) store(key Key, v Value) {
-	f, err := os.CreateTemp(c.dir, "tmp-*.gob")
+	f, err := c.fsys.CreateTemp(c.dir, "tmp-*.gob")
 	if err != nil {
 		return
 	}
 	tmp := f.Name()
 	if err := gob.NewEncoder(f).Encode(v); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		c.fsys.Remove(tmp)
+		return
+	}
+	// Sync before the rename: otherwise a power cut can leave the final
+	// name pointing at a file whose blocks never landed — exactly the
+	// quarantine churn the journal-equipped daemon must not self-inflict.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		c.fsys.Remove(tmp)
 		return
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		c.fsys.Remove(tmp)
 		return
 	}
-	if err := os.Rename(tmp, c.path(key)); err != nil {
-		os.Remove(tmp)
+	if err := c.fsys.Rename(tmp, c.path(key)); err != nil {
+		c.fsys.Remove(tmp)
 		return
 	}
 	if c.maxDisk > 0 {
@@ -417,7 +440,7 @@ func (c *Cache) store(key Key, v Value) {
 func (c *Cache) enforceDiskCap(keep string) {
 	c.diskMu.Lock()
 	defer c.diskMu.Unlock()
-	ents, err := os.ReadDir(c.dir)
+	ents, err := c.fsys.ReadDir(c.dir)
 	if err != nil {
 		return
 	}
@@ -451,13 +474,13 @@ func (c *Cache) enforceDiskCap(keep string) {
 		if f.path == keep {
 			continue
 		}
-		if os.Remove(f.path) == nil {
+		if c.fsys.Remove(f.path) == nil {
 			metricDiskEvictions.Inc()
 			total -= f.size
 		}
 	}
 	if total > c.maxDisk {
-		if os.Remove(keep) == nil {
+		if c.fsys.Remove(keep) == nil {
 			metricDiskEvictions.Inc()
 		}
 	}

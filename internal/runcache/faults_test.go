@@ -1,0 +1,213 @@
+package runcache
+
+import (
+	"encoding/gob"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"greengpu/internal/iofault"
+)
+
+// TestConcurrentQuarantineSingleFlight races two goroutines into Do on a
+// key whose disk entry is corrupt: the quarantine must happen on the
+// leader's path and the recompute must run exactly once — the follower
+// single-flights onto it instead of double-quarantining or
+// double-computing.
+func TestConcurrentQuarantineSingleFlight(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var key Key
+	key[7] = 9
+	if err := os.WriteFile(c.path(key), []byte("definitely not gob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var computes atomic.Int64
+	var start, done sync.WaitGroup
+	start.Add(1)
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			start.Wait()
+			_, errs[i] = c.Do(key, func() (Value, error) {
+				computes.Add(1)
+				return sampleValue(), nil
+			})
+		}()
+	}
+	start.Done()
+	done.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", i, err)
+		}
+	}
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("corrupt entry recomputed %d times, want exactly 1 (single-flight)", n)
+	}
+	st := c.Stats()
+	if st.Corrupt != 1 {
+		t.Fatalf("Stats.Corrupt = %d, want 1", st.Corrupt)
+	}
+	// The follower either blocked on the leader (a wait) or arrived after
+	// it finished (a hit); both are single-flight, a second compute is not.
+	if st.Waits+st.Hits != 1 {
+		t.Fatalf("Stats.Waits = %d, Stats.Hits = %d; the follower must wait or hit exactly once",
+			st.Waits, st.Hits)
+	}
+	if _, err := os.Stat(c.path(key) + ".bad"); err != nil {
+		t.Fatalf("corrupt entry not quarantined: %v", err)
+	}
+	// The re-stored entry under the final name must be whole.
+	assertNoPartialEntries(t, c.dir)
+}
+
+// assertNoPartialEntries fails if any *.gob under the final name fails to
+// gob-decode, or if any tmp-* staging file was left behind.
+func assertNoPartialEntries(t *testing.T, dir string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range ents {
+		name := de.Name()
+		if strings.HasPrefix(name, "tmp-") {
+			t.Errorf("staging file left behind: %s", name)
+			continue
+		}
+		if !strings.HasSuffix(name, ".gob") {
+			continue // .bad quarantines and .lock files are expected
+		}
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v Value
+		err = gob.NewDecoder(f).Decode(&v)
+		f.Close()
+		if err != nil {
+			t.Errorf("partial or corrupt entry under final name %s: %v", name, err)
+		}
+	}
+}
+
+// TestInjectedFaultsLeaveNoPartialEntry runs the disk layer under every
+// iofault class at once and pins the contract the journal-equipped daemon
+// leans on: whatever the storage does, an entry under its final name is
+// always whole — failures cost recomputes, never corruption.
+func TestInjectedFaultsLeaveNoPartialEntry(t *testing.T) {
+	dir := t.TempDir()
+	fsys := iofault.Wrap(iofault.Disk, iofault.Plan{
+		Seed:            11,
+		WriteErrRate:    0.1,
+		ShortWriteRate:  0.1,
+		SyncErrRate:     0.1,
+		ReadCorruptRate: 0.1,
+		RenameErrRate:   0.1,
+	}).(*iofault.FaultFS)
+	c, err := New(Options{Dir: dir, FS: fsys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 40
+	for round := 0; round < 2; round++ {
+		// Round 0 stores under injected faults; round 1 re-reads the same
+		// keys through a fresh cache over the same faulty FS, exercising
+		// load corruption and quarantine, then re-stores the casualties.
+		if round == 1 {
+			if c, err = New(Options{Dir: dir, FS: fsys}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < keys; i++ {
+			var key Key
+			key[0] = byte(i)
+			key[1] = byte(i >> 8)
+			if _, err := c.Do(key, func() (Value, error) { return sampleValue(), nil }); err != nil {
+				t.Fatalf("round %d key %d: %v", round, i, err)
+			}
+		}
+		assertNoPartialEntries(t, c.dir)
+	}
+	if fsys.Counts().Total() == 0 {
+		t.Fatal("fault plan injected nothing; test is vacuous")
+	}
+	// With the faults gone, every surviving entry must serve a clean hit
+	// and every casualty recompute — no error may escape to the caller.
+	clean, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < keys; i++ {
+		var key Key
+		key[0] = byte(i)
+		key[1] = byte(i >> 8)
+		if _, err := clean.Do(key, func() (Value, error) { return sampleValue(), nil }); err != nil {
+			t.Fatalf("clean reread key %d: %v", i, err)
+		}
+	}
+	assertNoPartialEntries(t, clean.dir)
+}
+
+// TestFaultFSStoreFailureRecomputes pins the degenerate end of the scale:
+// with every write failing, the cache still serves correct values (from
+// memory) and the disk layer simply stays empty.
+func TestFaultFSStoreFailureRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	fsys := iofault.Wrap(iofault.Disk, iofault.Plan{Seed: 5, WriteErrRate: 1})
+	c, err := New(Options{Dir: dir, FS: fsys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var key Key
+	key[2] = 3
+	want := sampleValue()
+	got, err := c.Do(key, func() (Value, error) { return want, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Result == nil || got.Result.Workload != want.Result.Workload {
+		t.Fatalf("value corrupted by store failure: %+v", got.Result)
+	}
+	assertNoPartialEntries(t, c.dir)
+	// A fresh cache finds nothing on disk and recomputes.
+	c2, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	if _, err := c2.Do(key, func() (Value, error) { ran = true; return want, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("rate-1 write failures still produced a disk entry")
+	}
+}
+
+// TestOptionsFSNilIsDisk pins that the zero Options keep the exact
+// pre-seam behavior: a nil FS is the real disk.
+func TestOptionsFSNilIsDisk(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var key Key
+	key[5] = 1
+	if _, err := c.Do(key, func() (Value, error) { return sampleValue(), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(c.path(key)); err != nil {
+		t.Fatalf("nil-FS cache did not write through the real disk: %v", err)
+	}
+}
